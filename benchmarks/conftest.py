@@ -1,0 +1,10 @@
+"""Benchmark-suite configuration.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each ``test_bench_eNN_*`` regenerates one experiment table (at quick
+scale, so the whole suite stays laptop-friendly); the ``micro`` benches
+time the hot kernels the simulators are built on.
+"""

@@ -1,0 +1,15 @@
+"""Bench E1 — Lemma 2.4 deterministic ladder bound.
+
+Regenerates the E1 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e01_general_bound(benchmark):
+    result = benchmark.pedantic(run_one, args=("E1", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

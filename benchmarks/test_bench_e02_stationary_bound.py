@@ -1,0 +1,15 @@
+"""Bench E2 — Thm 2.5 / Cor 2.6 stationary bound.
+
+Regenerates the E2 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e02_stationary_bound(benchmark):
+    result = benchmark.pedantic(run_one, args=("E2", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

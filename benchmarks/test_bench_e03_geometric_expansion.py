@@ -1,0 +1,15 @@
+"""Bench E3 — Thm 3.2 + Claim 1 geometric expansion.
+
+Regenerates the E3 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e03_geometric_expansion(benchmark):
+    result = benchmark.pedantic(run_one, args=("E3", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

@@ -1,0 +1,15 @@
+"""Bench E4 — Thm 3.4 geometric flooding scaling.
+
+Regenerates the E4 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e04_geometric_flooding(benchmark):
+    result = benchmark.pedantic(run_one, args=("E4", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

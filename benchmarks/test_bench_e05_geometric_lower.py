@@ -1,0 +1,15 @@
+"""Bench E5 — Thm 3.5 distance-certificate lower bound.
+
+Regenerates the E5 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e05_geometric_lower(benchmark):
+    result = benchmark.pedantic(run_one, args=("E5", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

@@ -1,0 +1,15 @@
+"""Bench E6 — Cor 3.6 Theta(sqrt(n)/R) band.
+
+Regenerates the E6 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e06_geometric_tightness(benchmark):
+    result = benchmark.pedantic(run_one, args=("E6", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

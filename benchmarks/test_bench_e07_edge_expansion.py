@@ -1,0 +1,15 @@
+"""Bench E7 — Thm 4.1 / Lemma 4.2 G(n,p_hat) expansion.
+
+Regenerates the E7 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e07_edge_expansion(benchmark):
+    result = benchmark.pedantic(run_one, args=("E7", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

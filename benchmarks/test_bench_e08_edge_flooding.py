@@ -1,0 +1,15 @@
+"""Bench E8 — Thm 4.3 edge flooding scaling + invariance.
+
+Regenerates the E8 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e08_edge_flooding(benchmark):
+    result = benchmark.pedantic(run_one, args=("E8", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

@@ -1,0 +1,15 @@
+"""Bench E9 — Thm 4.4 / Cor 4.5 lower bound + band.
+
+Regenerates the E9 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e09_edge_tightness(benchmark):
+    result = benchmark.pedantic(run_one, args=("E9", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

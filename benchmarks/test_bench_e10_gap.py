@@ -1,0 +1,15 @@
+"""Bench E10 — Section 1 stationary vs worst-case gap.
+
+Regenerates the E10 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e10_gap(benchmark):
+    result = benchmark.pedantic(run_one, args=("E10", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

@@ -1,0 +1,15 @@
+"""Bench E11 — Section 3 mobility-model zoo.
+
+Regenerates the E11 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e11_mobility(benchmark):
+    result = benchmark.pedantic(run_one, args=("E11", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

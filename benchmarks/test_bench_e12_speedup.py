@@ -1,0 +1,15 @@
+"""Bench E12 — Section 5 sparse-network mobility speed-up.
+
+Regenerates the E12 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e12_speedup(benchmark):
+    result = benchmark.pedantic(run_one, args=("E12", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

@@ -1,0 +1,15 @@
+"""Bench E13 — Observation 3.3 density collapse.
+
+Regenerates the E13 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e13_density(benchmark):
+    result = benchmark.pedantic(run_one, args=("E13", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

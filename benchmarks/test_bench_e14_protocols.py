@@ -1,0 +1,15 @@
+"""Bench E14 — protocol-zoo dominance.
+
+Regenerates the E14 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e14_protocols(benchmark):
+    result = benchmark.pedantic(run_one, args=("E14", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

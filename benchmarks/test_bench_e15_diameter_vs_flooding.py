@@ -1,0 +1,15 @@
+"""Bench E15 — constant-diameter vs Theta(n) flooding adversary.
+
+Regenerates the E15 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e15_diameter_vs_flooding(benchmark):
+    result = benchmark.pedantic(run_one, args=("E15", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""P2P update dissemination under churn: why warm networks spread fast.
+
+Scenario (paper Section 1 / Section 4): a peer-to-peer overlay whose
+links appear (birth-rate p) and disappear (death-rate q) as peers churn.
+An update is flooded through the overlay.
+
+Two questions the edge-MEG theory answers:
+
+1. *How fast does a warm (stationary) overlay spread an update?*
+   Theorem 4.3: ~ log n / log(n p_hat), depending on the link density
+   p_hat = p/(p+q) only — not on how fast links churn.
+2. *What if the overlay starts cold (no links at all)?*  The
+   stationary/worst-case gap (Section 1): with slow link formation the
+   cold start is exponentially slower.
+
+Run:  python examples/p2p_epidemic.py
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro import EdgeMEG
+from repro.analysis import render_table
+from repro.core import edge_upper_bound_closed_form, flooding_trials
+from repro.edgemeg import measure_gap
+
+N = 1024
+TRIALS = 5
+SEED = 4242
+
+
+def pq_from_phat(p_hat: float, q: float) -> tuple[float, float]:
+    return p_hat * q / (1.0 - p_hat), q
+
+
+def warm_overlay_table() -> None:
+    print(f"-- warm overlay: flooding time vs link density (n = {N}) --")
+    rows = []
+    for factor in (2, 4, 16, 64):
+        p_hat = min(0.5, factor * math.log(N) / N)
+        p, q = pq_from_phat(p_hat, 0.5)
+        meg = EdgeMEG(N, p, q)
+        runs = flooding_trials(meg, trials=TRIALS, seed=(SEED, factor))
+        times = [r.time for r in runs if r.completed]
+        rows.append({
+            "p_hat": round(p_hat, 4),
+            "mean degree n*p_hat": round(N * p_hat, 1),
+            "measured mean T": round(float(np.mean(times)), 2),
+            "paper shape": round(edge_upper_bound_closed_form(N, p_hat), 2),
+        })
+    print(render_table(rows))
+    print()
+
+
+def churn_invariance_table() -> None:
+    print("-- churn speed does not matter at fixed density (stationarity!) --")
+    p_hat = 6 * math.log(N) / N
+    rows = []
+    for q in (0.02, 0.1, 0.5, 0.98):
+        p, q = pq_from_phat(p_hat, q)
+        meg = EdgeMEG(N, p, q)
+        runs = flooding_trials(meg, trials=TRIALS, seed=(SEED, int(q * 1000)))
+        times = [r.time for r in runs if r.completed]
+        rows.append({
+            "q (churn rate)": q,
+            "edge lifetime 1/q": round(1 / q, 1),
+            "p_hat": round(p_hat, 4),
+            "measured mean T": round(float(np.mean(times)), 2),
+        })
+    print(render_table(rows))
+    print()
+
+
+def cold_start_gap() -> None:
+    print("-- cold start vs warm start (the exponential gap) --")
+    rows = []
+    for n in (256, 512, 1024):
+        p = n ** -1.5                       # very slow link formation
+        q = n * p / (4 * math.log(n))       # ...but long-lived links
+        obs = measure_gap(n, p, q, seed=(SEED, n), max_steps=64 * int(math.sqrt(n)))
+        rows.append({
+            "n": n,
+            "p": f"{p:.2e}",
+            "p_hat": round(obs.p / (obs.p + obs.q), 4),
+            "warm T": obs.stationary_time,
+            "cold T": (obs.worstcase_time if obs.worstcase_completed
+                       else f">{obs.worstcase_time}"),
+            "gap": (round(obs.gap, 1) if math.isfinite(obs.gap) else "inf"),
+        })
+    print(render_table(rows))
+    print("\ntakeaway: keep overlays warm — a stationary link population "
+          "spreads updates in O(log n / log(n p_hat)) steps regardless of "
+          "churn speed, while a cold overlay waits ~1/(n p) steps for links.")
+
+
+if __name__ == "__main__":
+    warm_overlay_table()
+    churn_invariance_table()
+    cold_start_gap()

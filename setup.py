@@ -1,0 +1,7 @@
+"""Legacy shim: offline environments lack the wheel package that
+PEP 517 editable installs require; this enables `pip install -e .`
+via the setuptools fallback path."""
+
+from setuptools import setup
+
+setup()

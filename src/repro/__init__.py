@@ -1,0 +1,86 @@
+"""repro — reproduction of *Information Spreading in Stationary Markovian
+Evolving Graphs* (Clementi, Monti, Pasquale, Silvestri; IPDPS 2009).
+
+Public API highlights
+---------------------
+Models
+    :class:`~repro.geometric.GeometricMEG` (mobile radio networks),
+    :class:`~repro.edgemeg.EdgeMEG` (birth/death edge dynamics), the
+    mobility-model zoo in :mod:`repro.mobility`, and deterministic
+    evolving graphs in :mod:`repro.dynamics`.
+Processes
+    :func:`~repro.core.flood` / :func:`~repro.core.flooding_time` (the
+    paper's flooding mechanism) plus the protocol baselines in
+    :mod:`repro.core.spreading`.
+Theory
+    Expansion measurement (:mod:`repro.core.expansion`) and the
+    paper's bound calculators (:mod:`repro.core.bounds`).
+Experiments
+    ``python -m repro.experiments <id>`` regenerates every experiment
+    table; see DESIGN.md for the index.
+"""
+
+from repro.core import (
+    FloodingResult,
+    foremost_arrival_times,
+    temporal_diameter,
+    temporal_eccentricity,
+    edge_ladder,
+    edge_lower_bound,
+    edge_upper_bound,
+    flood,
+    flooding_time,
+    flooding_trials,
+    geometric_ladder,
+    geometric_lower_bound,
+    geometric_upper_bound,
+    ladder_bound,
+    max_flooding_time_over_sources,
+    unit_ladder_bound,
+)
+from repro.dynamics import EvolvingGraph, GraphSnapshot, moving_hub_star
+from repro.edgemeg import EdgeMEG, IndependentDynamicGraph, SparseEdgeMEG
+from repro.geometric import GeometricMEG
+from repro.mobility import (
+    MobilityMEG,
+    RandomDirection,
+    RandomWaypoint,
+    RandomWaypointTorus,
+    SphereWaypointMEG,
+    TorusGridWalk,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "EvolvingGraph",
+    "GraphSnapshot",
+    "GeometricMEG",
+    "EdgeMEG",
+    "SparseEdgeMEG",
+    "IndependentDynamicGraph",
+    "MobilityMEG",
+    "RandomWaypoint",
+    "RandomWaypointTorus",
+    "RandomDirection",
+    "TorusGridWalk",
+    "SphereWaypointMEG",
+    "moving_hub_star",
+    "foremost_arrival_times",
+    "temporal_eccentricity",
+    "temporal_diameter",
+    "FloodingResult",
+    "flood",
+    "flooding_time",
+    "flooding_trials",
+    "max_flooding_time_over_sources",
+    "ladder_bound",
+    "unit_ladder_bound",
+    "geometric_ladder",
+    "geometric_upper_bound",
+    "geometric_lower_bound",
+    "edge_ladder",
+    "edge_upper_bound",
+    "edge_lower_bound",
+]

@@ -1,0 +1,28 @@
+"""Statistics, sweeps, fits, tables and records for the experiment harness."""
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.fitting import PowerLawFit, RatioBand, constant_ratio_check, fit_power_law
+from repro.analysis.records import ExperimentResult, rows_to_csv, rows_to_json
+from repro.analysis.stats import TrialSummary, bootstrap_ci, summarize, whp_quantile
+from repro.analysis.sweep import SweepPoint, parameter_grid, run_sweep
+from repro.analysis.tables import format_value, render_table
+
+__all__ = [
+    "TrialSummary",
+    "summarize",
+    "bootstrap_ci",
+    "whp_quantile",
+    "PowerLawFit",
+    "fit_power_law",
+    "RatioBand",
+    "constant_ratio_check",
+    "ExperimentResult",
+    "rows_to_csv",
+    "rows_to_json",
+    "SweepPoint",
+    "parameter_grid",
+    "run_sweep",
+    "format_value",
+    "render_table",
+    "ascii_plot",
+]

@@ -1,0 +1,102 @@
+"""Minimal ASCII line/scatter plots — the offline stand-in for figures.
+
+Each experiment that the paper would present as a figure emits both a
+CSV series (machine-readable) and an ASCII plot (eyeball-readable) via
+:func:`ascii_plot`.  Multiple series share one canvas and get distinct
+marker characters.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.util.validation import require
+
+__all__ = ["ascii_plot"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, size: int, log: bool) -> np.ndarray:
+    if log:
+        values, lo, hi = np.log10(values), math.log10(lo), math.log10(hi)
+    if hi <= lo:
+        return np.zeros(values.shape, dtype=int)
+    frac = (values - lo) / (hi - lo)
+    return np.clip((frac * (size - 1)).round().astype(int), 0, size - 1)
+
+
+def ascii_plot(
+    series: Mapping[str, tuple[Sequence[float], Sequence[float]]],
+    *,
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+) -> str:
+    """Render named ``(x, y)`` series on one ASCII canvas.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series name to ``(x_values, y_values)``.
+    width, height:
+        Canvas size in characters.
+    logx, logy:
+        Log-scale the axes (requires positive data on that axis).
+    title:
+        Optional title line.
+
+    Returns
+    -------
+    str
+        The canvas, a legend, and axis-range annotations.
+    """
+    require(len(series) > 0, "need at least one series")
+    require(width >= 8 and height >= 4, "canvas too small")
+
+    xs_all, ys_all = [], []
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        require(xs.shape == ys.shape and xs.ndim == 1 and xs.size > 0,
+                f"series {name!r} must be non-empty 1-D pairs")
+        if logx:
+            require(bool((xs > 0).all()), f"logx requires positive x in {name!r}")
+        if logy:
+            require(bool((ys > 0).all()), f"logy requires positive y in {name!r}")
+        xs_all.append(xs)
+        ys_all.append(ys)
+
+    x_lo = min(float(x.min()) for x in xs_all)
+    x_hi = max(float(x.max()) for x in xs_all)
+    y_lo = min(float(y.min()) for y in ys_all)
+    y_hi = max(float(y.max()) for y in ys_all)
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for k, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[k % len(_MARKERS)]
+        legend.append(f"{marker} = {name}")
+        xi = _scale(np.asarray(xs, dtype=float), x_lo, x_hi, width, logx)
+        yi = _scale(np.asarray(ys, dtype=float), y_lo, y_hi, height, logy)
+        for cx, cy in zip(xi, yi):
+            canvas[height - 1 - cy][cx] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    border = "+" + "-" * width + "+"
+    lines.append(border)
+    for row in canvas:
+        lines.append("|" + "".join(row) + "|")
+    lines.append(border)
+    xlabel = f"x: [{x_lo:.4g}, {x_hi:.4g}]" + (" (log)" if logx else "")
+    ylabel = f"y: [{y_lo:.4g}, {y_hi:.4g}]" + (" (log)" if logy else "")
+    lines.append(f"{xlabel}   {ylabel}")
+    lines.append("   ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,99 @@
+"""Scaling-law fits: the quantitative form of "the shape holds".
+
+The experiments do not try to match the paper's (asymptotic, constant-
+free) bounds numerically; they verify *shapes*:
+
+* :func:`fit_power_law` — least-squares in log–log space,
+  ``y ~ a * x^b``; e.g. flooding time vs ``sqrt(n)/R`` should fit with
+  exponent ``b ~ 1``.
+* :func:`constant_ratio_check` — the Θ-tightness test: the ratio of
+  measured to predicted values stays within a bounded band across the
+  sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.validation import require
+
+__all__ = ["PowerLawFit", "fit_power_law", "RatioBand", "constant_ratio_check"]
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a log–log linear regression ``y ~ amplitude * x^exponent``.
+
+    ``r_squared`` is the coefficient of determination in log space.
+    """
+
+    amplitude: float
+    exponent: float
+    r_squared: float
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted law."""
+        return self.amplitude * np.asarray(x, dtype=float) ** self.exponent
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ~ a x^b`` by least squares on ``log y ~ log a + b log x``.
+
+    Requires strictly positive data and at least two distinct ``x``.
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    require(x.shape == y.shape and x.ndim == 1, "x and y must be 1-D of equal length")
+    require(x.size >= 2, "need at least two points")
+    require(bool((x > 0).all() and (y > 0).all()), "power-law fits need positive data")
+    require(len(np.unique(x)) >= 2, "need at least two distinct x values")
+    lx, ly = np.log(x), np.log(y)
+    slope, intercept = np.polyfit(lx, ly, 1)
+    resid = ly - (slope * lx + intercept)
+    total = ly - ly.mean()
+    ss_tot = float(total @ total)
+    r2 = 1.0 - float(resid @ resid) / ss_tot if ss_tot > 0 else 1.0
+    return PowerLawFit(amplitude=float(np.exp(intercept)), exponent=float(slope),
+                       r_squared=r2)
+
+
+@dataclass(frozen=True)
+class RatioBand:
+    """Band of measured/predicted ratios across a sweep.
+
+    ``spread = max_ratio / min_ratio``; a Θ-relationship shows as a
+    spread bounded by a small constant while the predictor itself varies
+    by orders of magnitude.
+    """
+
+    min_ratio: float
+    max_ratio: float
+    mean_ratio: float
+
+    @property
+    def spread(self) -> float:
+        if self.min_ratio <= 0:
+            return float("inf")
+        return self.max_ratio / self.min_ratio
+
+    def within(self, factor: float) -> bool:
+        """Whether the band spread is at most *factor*."""
+        return self.spread <= factor
+
+
+def constant_ratio_check(measured: Sequence[float], predicted: Sequence[float]) -> RatioBand:
+    """Ratios ``measured[i] / predicted[i]`` summarised as a band."""
+    m = np.asarray(measured, dtype=float)
+    p = np.asarray(predicted, dtype=float)
+    require(m.shape == p.shape and m.ndim == 1 and m.size > 0,
+            "measured and predicted must be non-empty 1-D of equal length")
+    require(bool((p > 0).all()), "predicted values must be positive")
+    ratios = m / p
+    return RatioBand(
+        min_ratio=float(ratios.min()),
+        max_ratio=float(ratios.max()),
+        mean_ratio=float(ratios.mean()),
+    )

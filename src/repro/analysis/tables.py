@@ -1,0 +1,67 @@
+"""ASCII table rendering for experiment output.
+
+No third-party table/plot dependencies are available offline, so the
+experiment harness prints its "tables" with this small renderer: fixed-
+width columns, right-aligned numerics, compact float formatting.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping, Sequence
+
+from repro.util.validation import require
+
+__all__ = ["format_value", "render_table"]
+
+
+def format_value(value: Any, *, precision: int = 4) -> str:
+    """Compact scalar formatting: ints verbatim, floats to *precision*
+    significant digits, ``inf``/``nan`` spelled out."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf" if value > 0 else "-inf"
+        if value != 0 and (abs(value) >= 10**6 or abs(value) < 10**-4):
+            return f"{value:.{precision - 1}e}"
+        if float(value).is_integer() and abs(value) < 10**9:
+            return str(int(value))
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(rows: Sequence[Mapping[str, Any]], *, precision: int = 4) -> str:
+    """Render uniform row dicts as an aligned ASCII table.
+
+    Column order follows the first row; numeric columns are right-
+    aligned, text columns left-aligned.
+    """
+    require(len(rows) > 0, "rows must be non-empty")
+    columns = list(rows[0].keys())
+    cells = [[format_value(row.get(col, ""), precision=precision) for col in columns]
+             for row in rows]
+    numeric = [
+        all(isinstance(row.get(col), (int, float)) and not isinstance(row.get(col), bool)
+            for row in rows)
+        for col in columns
+    ]
+    widths = [
+        max(len(str(col)), *(len(line[j]) for line in cells))
+        for j, col in enumerate(columns)
+    ]
+
+    def fmt_line(items: Sequence[str]) -> str:
+        parts = []
+        for j, item in enumerate(items):
+            parts.append(item.rjust(widths[j]) if numeric[j] else item.ljust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    header = fmt_line([str(c) for c in columns])
+    rule = "-" * len(header)
+    body = [fmt_line(line) for line in cells]
+    return "\n".join([header, rule, *body])

@@ -1,0 +1,270 @@
+"""Spreading protocols beyond flooding: the baseline zoo.
+
+The paper motivates flooding as *the* natural lower bound for broadcast
+in unknown dynamic topologies: any broadcast protocol informs a subset
+of what flooding informs at every step.  Experiment E14 demonstrates
+this dominance empirically against the standard alternatives:
+
+* :func:`probabilistic_flood` — every informed node transmits
+  independently with probability ``f`` per step (Oikonomou–Stavrakakis
+  style probabilistic flooding, reference [29] of the paper).
+* :func:`parsimonious_flood` — a node transmits only for the first
+  ``active_steps`` steps after becoming informed (the parsimonious
+  flooding of Baumann, Crescenzi and Fraigniaud, reference [4]).
+* :func:`push_gossip` — each informed node contacts one uniformly
+  random neighbor per step (classical rumor spreading, reference [30]).
+* :func:`push_pull_gossip` — push plus pull: uninformed nodes also
+  query one random neighbor.
+
+All protocols run on any :class:`~repro.dynamics.base.EvolvingGraph`
+and return a :class:`~repro.core.flooding.FloodingResult`-compatible
+record so the analysis code treats them uniformly.
+
+Seeding convention: every protocol splits its seed as
+``rng_graph, rng_protocol = spawn(seed, 2)`` — so passing the *same*
+seed to different protocols couples the evolving-graph realisation
+while keeping protocol randomness independent.  Flooding itself is
+deterministic given the graph; couple it by passing
+``spawn(seed, 2)[0]`` as its seed.
+
+Dominance invariant (tested): on the same evolving-graph realisation
+and source, the flooding informed set contains the informed set of any
+protocol here at every time step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.flooding import DEFAULT_MAX_STEPS, FloodingResult, _resolve_sources
+from repro.dynamics.base import EvolvingGraph
+from repro.util.rng import SeedLike, as_generator, spawn
+from repro.util.validation import require, require_positive_int, require_probability
+
+__all__ = [
+    "probabilistic_flood",
+    "parsimonious_flood",
+    "push_gossip",
+    "pull_gossip",
+    "push_pull_gossip",
+]
+
+
+def _budget(graph: EvolvingGraph, max_steps: int | None) -> int:
+    if max_steps is None:
+        return 4 * graph.num_nodes + 64
+    return require_positive_int(max_steps, "max_steps")
+
+
+def _finish(sources, t, informed, history) -> FloodingResult:
+    return FloodingResult(
+        source=sources,
+        time=t,
+        completed=history[-1] == informed.shape[0],
+        informed_history=np.asarray(history, dtype=np.int64),
+        informed=informed,
+    )
+
+
+def probabilistic_flood(
+    graph: EvolvingGraph,
+    source: int = 0,
+    *,
+    transmit_probability: float,
+    seed: SeedLike = None,
+    max_steps: int | None = DEFAULT_MAX_STEPS,
+) -> FloodingResult:
+    """Flooding where each informed node transmits w.p. *transmit_probability*.
+
+    With probability 1 it is never faster than flooding; with
+    ``transmit_probability = 1`` it coincides with flooding.
+    """
+    f = require_probability(transmit_probability, "transmit_probability", open_left=True)
+    n = graph.num_nodes
+    sources = _resolve_sources(source, n)
+    budget = _budget(graph, max_steps)
+    rng_graph, rng_proto = spawn(seed, 2)
+    graph.reset(rng_graph)
+
+    informed = np.zeros(n, dtype=bool)
+    informed[list(sources)] = True
+    history = [len(sources)]
+    t = 0
+    while history[-1] < n and t < budget:
+        snap = graph.snapshot()
+        active = informed & (rng_proto.random(n) < f)
+        if active.any():
+            fresh = snap.neighborhood_mask(active) & ~informed
+            if fresh.any():
+                informed |= fresh
+        graph.step()
+        t += 1
+        history.append(int(informed.sum()))
+    return _finish(sources, t, informed, history)
+
+
+def parsimonious_flood(
+    graph: EvolvingGraph,
+    source: int = 0,
+    *,
+    active_steps: int,
+    seed: SeedLike = None,
+    max_steps: int | None = DEFAULT_MAX_STEPS,
+) -> FloodingResult:
+    """Flooding where nodes transmit only for *active_steps* steps after
+    becoming informed.
+
+    The protocol of reference [4]; it trades completion guarantees for
+    message complexity.  On fast-mixing MEGs a small ``active_steps``
+    already completes, on slowly-changing ones it can stall — both
+    behaviours are exercised in E14.
+    """
+    k = require_positive_int(active_steps, "active_steps")
+    n = graph.num_nodes
+    sources = _resolve_sources(source, n)
+    budget = _budget(graph, max_steps)
+    # Same seed split as the randomized protocols (graph stream first),
+    # so one trial seed couples the graph realisation across protocols.
+    rng_graph, _ = spawn(seed, 2)
+    graph.reset(rng_graph)
+
+    informed = np.zeros(n, dtype=bool)
+    informed[list(sources)] = True
+    informed_at = np.full(n, -1, dtype=np.int64)
+    informed_at[list(sources)] = 0
+    history = [len(sources)]
+    t = 0
+    while history[-1] < n and t < budget:
+        snap = graph.snapshot()
+        active = informed & (informed_at > t - k)
+        if active.any():
+            fresh = snap.neighborhood_mask(active) & ~informed
+            if fresh.any():
+                informed |= fresh
+                informed_at[fresh] = t + 1
+        graph.step()
+        t += 1
+        history.append(int(informed.sum()))
+        if not (informed & (informed_at > t - k)).any() and history[-1] < n:
+            break  # all transmitters expired: the protocol has stalled
+    return _finish(sources, t, informed, history)
+
+
+def _one_random_neighbor(snap, nodes: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """For each node in *nodes*, one uniform neighbor (or -1 if isolated)."""
+    picks = np.full(nodes.shape[0], -1, dtype=np.int64)
+    for idx, u in enumerate(nodes):
+        nbrs = snap.neighbors_of(int(u))
+        if nbrs.size:
+            picks[idx] = int(nbrs[rng.integers(nbrs.size)])
+    return picks
+
+
+def push_gossip(
+    graph: EvolvingGraph,
+    source: int = 0,
+    *,
+    seed: SeedLike = None,
+    max_steps: int | None = DEFAULT_MAX_STEPS,
+) -> FloodingResult:
+    """Push rumor spreading: every informed node pushes to one random neighbor."""
+    n = graph.num_nodes
+    sources = _resolve_sources(source, n)
+    budget = _budget(graph, max_steps)
+    rng_graph, rng_proto = spawn(seed, 2)
+    graph.reset(rng_graph)
+
+    informed = np.zeros(n, dtype=bool)
+    informed[list(sources)] = True
+    history = [len(sources)]
+    t = 0
+    while history[-1] < n and t < budget:
+        snap = graph.snapshot()
+        senders = np.flatnonzero(informed)
+        targets = _one_random_neighbor(snap, senders, rng_proto)
+        targets = targets[targets >= 0]
+        if targets.size:
+            informed[targets] = True
+        graph.step()
+        t += 1
+        history.append(int(informed.sum()))
+    return _finish(sources, t, informed, history)
+
+
+def pull_gossip(
+    graph: EvolvingGraph,
+    source: int = 0,
+    *,
+    seed: SeedLike = None,
+    max_steps: int | None = DEFAULT_MAX_STEPS,
+) -> FloodingResult:
+    """Pull rumor spreading: every *uninformed* node queries one random
+    neighbor and learns the rumor if that neighbor is informed.
+
+    Complements :func:`push_gossip`; pull is known to dominate push in
+    the endgame (few uninformed nodes, many potential informers) and to
+    lag in the opening — both visible in E14-style comparisons.
+    """
+    n = graph.num_nodes
+    sources = _resolve_sources(source, n)
+    budget = _budget(graph, max_steps)
+    rng_graph, rng_proto = spawn(seed, 2)
+    graph.reset(rng_graph)
+
+    informed = np.zeros(n, dtype=bool)
+    informed[list(sources)] = True
+    history = [len(sources)]
+    t = 0
+    while history[-1] < n and t < budget:
+        snap = graph.snapshot()
+        pullers = np.flatnonzero(~informed)
+        pulled_from = _one_random_neighbor(snap, pullers, rng_proto)
+        ok = (pulled_from >= 0) & informed[np.clip(pulled_from, 0, n - 1)]
+        fresh = pullers[ok]
+        if fresh.size:
+            informed[fresh] = True
+        graph.step()
+        t += 1
+        history.append(int(informed.sum()))
+    return _finish(sources, t, informed, history)
+
+
+def push_pull_gossip(
+    graph: EvolvingGraph,
+    source: int = 0,
+    *,
+    seed: SeedLike = None,
+    max_steps: int | None = DEFAULT_MAX_STEPS,
+) -> FloodingResult:
+    """Push–pull rumor spreading.
+
+    Informed nodes push to one random neighbor; uninformed nodes pull
+    from one random neighbor (successful if that neighbor is informed).
+    """
+    n = graph.num_nodes
+    sources = _resolve_sources(source, n)
+    budget = _budget(graph, max_steps)
+    rng_graph, rng_proto = spawn(seed, 2)
+    graph.reset(rng_graph)
+
+    informed = np.zeros(n, dtype=bool)
+    informed[list(sources)] = True
+    history = [len(sources)]
+    t = 0
+    while history[-1] < n and t < budget:
+        snap = graph.snapshot()
+        senders = np.flatnonzero(informed)
+        pushed = _one_random_neighbor(snap, senders, rng_proto)
+        pushed = pushed[pushed >= 0]
+        pullers = np.flatnonzero(~informed)
+        pulled_from = _one_random_neighbor(snap, pullers, rng_proto)
+        ok = (pulled_from >= 0) & informed[np.clip(pulled_from, 0, n - 1)]
+        fresh_pullers = pullers[ok]
+        if pushed.size:
+            informed[pushed] = True
+        if fresh_pullers.size:
+            informed[fresh_pullers] = True
+        graph.step()
+        t += 1
+        history.append(int(informed.sum()))
+    return _finish(sources, t, informed, history)

@@ -1,0 +1,39 @@
+"""Edge-Markovian evolving graphs and their Erdős–Rényi substrate."""
+
+from repro.edgemeg.er import (
+    connected_components,
+    connectivity_threshold,
+    erdos_renyi_adjacency,
+    erdos_renyi_snapshot,
+    is_connected,
+    num_isolated,
+)
+from repro.edgemeg.independent import IndependentDynamicGraph, flood_time_independent
+from repro.edgemeg.meg import EdgeMEG
+from repro.edgemeg.sparse import SparseEdgeMEG, decode_pairs, encode_pairs, num_pairs
+from repro.edgemeg.worstcase import (
+    GapObservation,
+    measure_gap,
+    stationary_flood,
+    worstcase_flood,
+)
+
+__all__ = [
+    "EdgeMEG",
+    "SparseEdgeMEG",
+    "encode_pairs",
+    "decode_pairs",
+    "num_pairs",
+    "IndependentDynamicGraph",
+    "flood_time_independent",
+    "erdos_renyi_adjacency",
+    "erdos_renyi_snapshot",
+    "connected_components",
+    "is_connected",
+    "num_isolated",
+    "connectivity_threshold",
+    "GapObservation",
+    "measure_gap",
+    "stationary_flood",
+    "worstcase_flood",
+]

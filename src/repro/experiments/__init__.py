@@ -1,0 +1,21 @@
+"""Experiment suite: one module per reproduced table/figure (E1..E14).
+
+See DESIGN.md for the experiment index and
+``python -m repro.experiments --list`` for the catalogue.
+"""
+
+from repro.experiments.common import DEFAULT_SEED, ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS, all_ids, load_experiment, normalize_id
+from repro.experiments.runner import main, run_many, run_one
+
+__all__ = [
+    "DEFAULT_SEED",
+    "ExperimentConfig",
+    "EXPERIMENTS",
+    "all_ids",
+    "load_experiment",
+    "normalize_id",
+    "run_one",
+    "run_many",
+    "main",
+]

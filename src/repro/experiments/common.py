@@ -1,0 +1,57 @@
+"""Shared experiment configuration and helpers.
+
+Every experiment module exposes::
+
+    EXPERIMENT_ID: str
+    TITLE: str
+    def run(config: ExperimentConfig) -> ExperimentResult
+
+The :class:`ExperimentConfig` carries the master seed and a *scale*
+knob; ``"quick"`` keeps every experiment under a few seconds (used by
+the benchmark harness and CI), ``"standard"`` is the default console
+scale, and ``"full"`` is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TypeVar
+
+from repro.util.validation import require
+
+__all__ = ["ExperimentConfig", "DEFAULT_SEED"]
+
+#: Default master seed (IPDPS 2009 started 2009-05-25).
+DEFAULT_SEED = 20090525
+
+_SCALES = ("quick", "standard", "full")
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by all experiments.
+
+    Attributes
+    ----------
+    seed:
+        Master seed; every experiment derives all its randomness from it.
+    scale:
+        ``"quick" | "standard" | "full"`` — problem sizes and trial
+        counts grow with the scale.
+    output_dir:
+        When set, experiments save ``.txt/.csv/.json`` artifacts there.
+    """
+
+    seed: int = DEFAULT_SEED
+    scale: str = "standard"
+    output_dir: Path | None = None
+
+    def __post_init__(self) -> None:
+        require(self.scale in _SCALES, f"scale must be one of {_SCALES}")
+
+    def pick(self, quick: T, standard: T, full: T) -> T:
+        """Select a value by scale."""
+        return {"quick": quick, "standard": standard, "full": full}[self.scale]

@@ -1,0 +1,71 @@
+"""Experiment registry: id -> module mapping.
+
+Experiment ids (``"E1"``..``"E14"``, case-insensitive, ``"e04"``-style
+zero padding accepted) resolve to their modules lazily so importing the
+registry stays cheap.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Iterable
+
+from repro.util.validation import require
+
+__all__ = ["EXPERIMENTS", "normalize_id", "load_experiment", "all_ids"]
+
+#: id -> (module path, one-line title)
+EXPERIMENTS: dict[str, tuple[str, str]] = {
+    "E1": ("repro.experiments.e01_general_bound",
+           "Lemma 2.4: deterministic expansion ladder bounds flooding"),
+    "E2": ("repro.experiments.e02_stationary_bound",
+           "Thm 2.5 / Cor 2.6: stationary MEG bound holds w.h.p."),
+    "E3": ("repro.experiments.e03_geometric_expansion",
+           "Thm 3.2 + Claim 1: geometric-MEG cell occupancy and expansion"),
+    "E4": ("repro.experiments.e04_geometric_flooding",
+           "Thm 3.4: geometric flooding scales as sqrt(n)/R"),
+    "E5": ("repro.experiments.e05_geometric_lower",
+           "Thm 3.5: per-trial distance certificate lower bound"),
+    "E6": ("repro.experiments.e06_geometric_tightness",
+           "Cor 3.6: Theta(sqrt(n)/R) ratio band"),
+    "E7": ("repro.experiments.e07_edge_expansion",
+           "Thm 4.1 / Lemma 4.2: G(n, p_hat) expansion constants"),
+    "E8": ("repro.experiments.e08_edge_flooding",
+           "Thm 4.3: edge flooding scales as log n / log(n p_hat), (p,q)-invariant"),
+    "E9": ("repro.experiments.e09_edge_tightness",
+           "Thm 4.4 / Cor 4.5: edge lower bound and Theta ratio band"),
+    "E10": ("repro.experiments.e10_gap",
+            "Section 1: stationary vs worst-case exponential gap"),
+    "E11": ("repro.experiments.e11_mobility",
+            "Section 3: further mobility models (uniformity + flooding shape)"),
+    "E12": ("repro.experiments.e12_speedup",
+            "Section 5: mobility speeds up sparse disconnected networks"),
+    "E13": ("repro.experiments.e13_density",
+            "Observation 3.3: density scaling collapse"),
+    "E14": ("repro.experiments.e14_protocols",
+            "Flooding as the fastest broadcast baseline (protocol zoo)"),
+    "E15": ("repro.experiments.e15_diameter_vs_flooding",
+            "Section 1: constant diameter yet Theta(n) flooding (adversary)"),
+}
+
+
+def normalize_id(experiment_id: str) -> str:
+    """``"e04"`` / ``"E4"`` / ``" e4 "`` -> ``"E4"``."""
+    text = experiment_id.strip().upper()
+    require(text.startswith("E") and text[1:].isdigit(),
+            f"malformed experiment id: {experiment_id!r}")
+    canonical = f"E{int(text[1:])}"
+    require(canonical in EXPERIMENTS, f"unknown experiment: {canonical}")
+    return canonical
+
+
+def load_experiment(experiment_id: str):
+    """Import and return the experiment module for *experiment_id*."""
+    canonical = normalize_id(experiment_id)
+    module_path, _ = EXPERIMENTS[canonical]
+    return importlib.import_module(module_path)
+
+
+def all_ids() -> Iterable[str]:
+    """All experiment ids in numeric order."""
+    return sorted(EXPERIMENTS, key=lambda e: int(e[1:]))

@@ -1,0 +1,89 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments E4 --scale quick
+    python -m repro.experiments all --scale full --output results/
+    python -m repro.experiments --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments.common import DEFAULT_SEED, ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS, all_ids, load_experiment
+from repro.util.timing import Timer, format_seconds
+
+__all__ = ["main", "run_one", "run_many"]
+
+
+def run_one(experiment_id: str, config: ExperimentConfig):
+    """Load and run one experiment; returns its ExperimentResult."""
+    module = load_experiment(experiment_id)
+    return module.run(config)
+
+
+def run_many(ids: list[str], config: ExperimentConfig, *, stream=None) -> int:
+    """Run several experiments, printing each table; returns the number of
+    experiments whose verdict is ``inconsistent``."""
+    if stream is None:
+        stream = sys.stdout  # resolved at call time (test harnesses swap stdout)
+    inconsistent = 0
+    for experiment_id in ids:
+        with Timer() as timer:
+            result = run_one(experiment_id, config)
+        print(result.to_text(), file=stream)
+        print(f"  [{format_seconds(timer.elapsed)}]", file=stream)
+        print(file=stream)
+        if result.verdict == "inconsistent":
+            inconsistent += 1
+    return inconsistent
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=("Regenerate the experiment tables of the reproduction of "
+                     "'Information Spreading in Stationary Markovian Evolving "
+                     "Graphs' (IPDPS 2009)."),
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment ids (E1..E14) or 'all'")
+    parser.add_argument("--scale", choices=("quick", "standard", "full"),
+                        default="standard", help="problem-size scale")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="master seed")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="directory for .txt/.csv/.json artifacts")
+    parser.add_argument("--list", action="store_true", dest="list_experiments",
+                        help="list experiments and exit")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_experiments:
+        for experiment_id in all_ids():
+            _, title = EXPERIMENTS[experiment_id]
+            print(f"{experiment_id:>4}  {title}")
+        return 0
+    if not args.experiments:
+        print("no experiments given (use ids like E4, or 'all'; --list to see all)",
+              file=sys.stderr)
+        return 2
+    if len(args.experiments) == 1 and args.experiments[0].lower() == "all":
+        ids = list(all_ids())
+    else:
+        ids = args.experiments
+    config = ExperimentConfig(seed=args.seed, scale=args.scale,
+                              output_dir=args.output)
+    inconsistent = run_many(ids, config)
+    return 1 if inconsistent else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,171 @@
+"""The cell-partition machinery of Theorem 3.2's proof.
+
+The proof partitions the ``sqrt(n) x sqrt(n)`` square into ``m x m``
+congruent square *cells* with ``m = ceil(sqrt(5 n) / R)``, so the cell
+side ``l`` satisfies ``R/(sqrt(5)+1) <= l <= R/sqrt(5)`` — small enough
+that **any point of a cell is within distance R of any point of a
+side-by-side adjacent cell** (the diagonal of a 1x2 cell block is
+``l * sqrt(5) <= R``).
+
+*Claim 1* (the concentration step): w.h.p. every cell holds between
+``R^2 / lambda`` and ``lambda R^2`` walkers for a constant
+``lambda > 1``.  Event ``B`` is that sandwich; Claims 2 and 3 derive
+the two expansion regimes from ``B`` alone.
+
+This module reproduces all of that combinatorics: the partition, the
+occupancy counts ``N_{i,j}``, event ``B`` checks, the realised
+``lambda``, and the black / gray / white row–column classification used
+in Claim 3.  Experiment E3 drives it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.validation import require, require_positive
+
+__all__ = ["CellPartition", "CellStatistics", "cell_count"]
+
+
+def cell_count(side: float, radius: float) -> int:
+    """``m = ceil(sqrt(5) * side / R)`` — the paper's ``ceil(sqrt(5 n)/R)``
+    at unit density (``side = sqrt(n)``)."""
+    side = require_positive(side, "side")
+    radius = require_positive(radius, "radius")
+    return max(1, int(math.ceil(math.sqrt(5.0) * side / radius)))
+
+
+@dataclass(frozen=True)
+class CellStatistics:
+    """Occupancy summary of one configuration of walker positions.
+
+    Attributes
+    ----------
+    counts:
+        ``(m, m)`` int64 array of walkers per cell (``N_{i,j}``).
+    radius:
+        The transmission radius defining the partition.
+    realized_lambda:
+        Smallest ``lambda`` with ``R^2/lambda <= N_{i,j} <= lambda R^2``
+        for all cells (``inf`` when some cell is empty).
+    """
+
+    counts: np.ndarray
+    radius: float
+    realized_lambda: float
+
+    @property
+    def m(self) -> int:
+        """Cells per axis."""
+        return self.counts.shape[0]
+
+    def event_b(self, lam: float) -> bool:
+        """Whether event ``B`` holds at tolerance *lam* (Claim 1)."""
+        require(lam >= 1.0, "lambda must be >= 1")
+        r2 = self.radius * self.radius
+        return bool(
+            (self.counts >= r2 / lam).all() and (self.counts <= lam * r2).all()
+        )
+
+    def min_count(self) -> int:
+        """Smallest cell occupancy."""
+        return int(self.counts.min())
+
+    def max_count(self) -> int:
+        """Largest cell occupancy."""
+        return int(self.counts.max())
+
+
+class CellPartition:
+    """Partition of ``[0, side]^2`` into ``m x m`` congruent cells.
+
+    Parameters
+    ----------
+    side:
+        Side length of the region (``sqrt(n)`` at unit density).
+    radius:
+        Transmission radius ``R``; determines ``m`` per the paper unless
+        *m* is given explicitly.
+    """
+
+    def __init__(self, side: float, radius: float, *, m: int | None = None) -> None:
+        self.side = require_positive(side, "side")
+        self.radius = require_positive(radius, "radius")
+        self.m = cell_count(side, radius) if m is None else int(m)
+        require(self.m >= 1, "m must be >= 1")
+        self.cell_side = self.side / self.m
+
+    def adjacent_within_radius(self) -> bool:
+        """Whether any two points of side-by-side adjacent cells are within
+        ``R`` (requires ``cell_side * sqrt(5) <= R``; true for the
+        paper's ``m`` whenever ``R <= side``)."""
+        return self.cell_side * math.sqrt(5.0) <= self.radius * (1 + 1e-12)
+
+    def cell_indices(self, positions: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Map ``(count, 2)`` positions to integer cell coordinates.
+
+        Points exactly on the upper border are assigned to the last cell.
+        """
+        positions = np.asarray(positions, dtype=float)
+        require(positions.ndim == 2 and positions.shape[1] == 2,
+                "positions must be (count, 2)")
+        scaled = np.clip((positions / self.cell_side).astype(np.int64), 0, self.m - 1)
+        return scaled[:, 0], scaled[:, 1]
+
+    def occupancy(self, positions: np.ndarray) -> CellStatistics:
+        """Count walkers per cell and summarise the Claim 1 sandwich."""
+        ci, cj = self.cell_indices(positions)
+        flat = np.bincount(ci * self.m + cj, minlength=self.m * self.m)
+        counts = flat.reshape(self.m, self.m).astype(np.int64)
+        r2 = self.radius * self.radius
+        if counts.min() <= 0:
+            lam = math.inf
+        else:
+            lam = max(counts.max() / r2, r2 / counts.min(), 1.0)
+        return CellStatistics(counts=counts, radius=self.radius, realized_lambda=float(lam))
+
+    def classify_rows_columns(self, positions: np.ndarray, members: np.ndarray,
+                              ) -> dict[str, int]:
+        """The Claim 3 classification for a member set ``I``.
+
+        A cell is *black* if it contains at least one member.  A row
+        (column) of cells is black if all its cells are black, white if
+        none are, gray otherwise.  Returns the counts used in the proof::
+
+            {"black_cells": ..., "black_rows": ..., "gray_rows": ...,
+             "white_rows": ..., "black_cols": ..., "gray_cols": ...,
+             "white_cols": ...}
+        """
+        positions = np.asarray(positions, dtype=float)
+        members = np.asarray(members, dtype=bool)
+        require(members.shape == (positions.shape[0],), "members mask has wrong length")
+        ci, cj = self.cell_indices(positions[members])
+        black = np.zeros((self.m, self.m), dtype=bool)
+        black[ci, cj] = True
+
+        def _classify(axis: int) -> tuple[int, int, int]:
+            all_black = black.all(axis=axis)
+            none_black = ~black.any(axis=axis)
+            n_black = int(all_black.sum())
+            n_white = int(none_black.sum())
+            return n_black, self.m - n_black - n_white, n_white
+
+        black_rows, gray_rows, white_rows = _classify(1)
+        black_cols, gray_cols, white_cols = _classify(0)
+        return {
+            "black_cells": int(black.sum()),
+            "black_rows": black_rows,
+            "gray_rows": gray_rows,
+            "white_rows": white_rows,
+            "black_cols": black_cols,
+            "gray_cols": gray_cols,
+            "white_cols": white_cols,
+        }
+
+    def expected_occupancy(self, num_walkers: int) -> float:
+        """Mean walkers per cell ``n / m^2`` (close to ``R^2/5`` for the
+        paper's ``m`` at unit density)."""
+        return num_walkers / (self.m * self.m)

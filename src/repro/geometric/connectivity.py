@@ -1,0 +1,67 @@
+"""Connectivity structure of geometric snapshots.
+
+Theorems 3.2–3.4 live above the connectivity threshold
+``R = Theta(sqrt(log n))``; below it the stationary random geometric
+graph shatters into components and static flooding cannot complete
+(experiment E12).  This module measures that structure directly:
+component count, largest-component fraction, and a connectivity
+predicate, all via a union–find over the radius edge list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometric.neighbors import radius_edges
+from repro.util.unionfind import UnionFind
+from repro.util.validation import require
+
+__all__ = ["ComponentReport", "component_report", "is_geometric_connected"]
+
+
+@dataclass(frozen=True)
+class ComponentReport:
+    """Component structure of one geometric snapshot.
+
+    Attributes
+    ----------
+    num_components:
+        Number of connected components.
+    largest_fraction:
+        ``|largest component| / n``.
+    sizes:
+        All component sizes, descending.
+    """
+
+    num_components: int
+    largest_fraction: float
+    sizes: np.ndarray
+
+    @property
+    def connected(self) -> bool:
+        """Whether the snapshot is connected."""
+        return self.num_components == 1
+
+
+def component_report(positions: np.ndarray, radius: float, *,
+                     boxsize: float | None = None) -> ComponentReport:
+    """Component structure of the radius graph over *positions*."""
+    positions = np.asarray(positions, dtype=float)
+    require(positions.ndim == 2, "positions must be (n, d)")
+    n = positions.shape[0]
+    uf = UnionFind(n)
+    uf.union_edges(radius_edges(positions, radius, boxsize=boxsize))
+    sizes = uf.component_sizes()
+    return ComponentReport(
+        num_components=uf.num_components,
+        largest_fraction=float(sizes[0] / n),
+        sizes=sizes,
+    )
+
+
+def is_geometric_connected(positions: np.ndarray, radius: float, *,
+                           boxsize: float | None = None) -> bool:
+    """Whether the radius graph over *positions* is connected."""
+    return component_report(positions, radius, boxsize=boxsize).connected

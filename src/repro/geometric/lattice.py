@@ -1,0 +1,211 @@
+"""The node support-space ``L_{n,eps}`` and move graph of Section 3.
+
+The paper discretises the square ``sqrt(n) x sqrt(n)`` (density 1;
+Observation 3.3 scales to any density) into the lattice
+
+.. math::
+
+    L_{n,\\varepsilon} = \\{ (i\\varepsilon, j\\varepsilon) :
+        i, j \\in \\mathbb{N},\\ i\\varepsilon, j\\varepsilon \\le \\sqrt n \\}
+
+and defines the *move graph* ``M_{n,r,eps}``: from position ``x`` a
+walker can move to any lattice point within Euclidean distance ``r``
+(the *move radius*), including staying put.  The stationary distribution
+of a single walker is proportional to the move-graph degree
+``|Gamma(x)|`` (border points have clipped neighborhoods, hence slightly
+smaller stationary mass — the "almost uniform" property driving the
+expansion proof).
+
+This module computes ``|Gamma(x)|`` for all lattice points in closed
+form (no neighbor enumeration): for each vertical offset ``dj`` the
+number of admissible horizontal offsets factorises into a clipped
+1-D count, so the full degree table is a sum of outer products —
+``O(g^2 * r/eps)`` instead of ``O(g^2 * (r/eps)^2)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import require, require_nonnegative, require_positive
+
+__all__ = ["Lattice", "disc_offsets"]
+
+
+def disc_offsets(r_over_eps: float) -> tuple[np.ndarray, np.ndarray]:
+    """Integer offsets ``(di, dj)`` with ``di^2 + dj^2 <= (r/eps)^2``.
+
+    Returns two aligned int64 arrays.  Includes ``(0, 0)``.
+    """
+    r2 = float(r_over_eps) ** 2
+    dmax = int(math.floor(r_over_eps + 1e-9))
+    rng_ = np.arange(-dmax, dmax + 1)
+    di, dj = np.meshgrid(rng_, rng_, indexing="ij")
+    keep = di * di + dj * dj <= r2 + 1e-9
+    return di[keep].astype(np.int64), dj[keep].astype(np.int64)
+
+
+@dataclass(frozen=True)
+class Lattice:
+    """The lattice ``L_{n,eps}`` with move radius ``r``.
+
+    Parameters
+    ----------
+    side:
+        Side length of the square region (``sqrt(n)`` at unit density,
+        ``sqrt(n / density)`` in general).
+    eps:
+        Resolution coefficient ``eps > 0``; the paper assumes
+        ``eps <= 1`` and ``eps < R`` (validated by the callers that know
+        ``R``).
+    move_radius:
+        The move radius ``r >= 0``.  ``r = 0`` freezes the walkers,
+        giving the *static* random geometric graph baseline.
+
+    Attributes
+    ----------
+    grid_size:
+        Number of admissible indices per axis,
+        ``g = floor(side / eps) + 1``.
+    """
+
+    side: float
+    eps: float
+    move_radius: float
+    grid_size: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "side", require_positive(self.side, "side"))
+        object.__setattr__(self, "eps", require_positive(self.eps, "eps"))
+        object.__setattr__(self, "move_radius",
+                           require_nonnegative(self.move_radius, "move_radius"))
+        require(self.eps <= self.side, "eps must not exceed the region side")
+        g = int(math.floor(self.side / self.eps + 1e-9)) + 1
+        object.__setattr__(self, "grid_size", g)
+
+    @property
+    def num_points(self) -> int:
+        """``|L_{n,eps}| = g^2``."""
+        return self.grid_size * self.grid_size
+
+    @property
+    def dmax(self) -> int:
+        """Maximum per-axis index offset, ``floor(r / eps)``."""
+        return int(math.floor(self.move_radius / self.eps + 1e-9))
+
+    def _per_offset_width(self) -> np.ndarray:
+        """``D(dj) = floor(sqrt((r/eps)^2 - dj^2))`` for ``dj = -dmax..dmax``.
+
+        ``D(dj)`` is the number of admissible horizontal offsets on each
+        side of 0 at vertical offset ``dj`` (before border clipping).
+        """
+        r_units = self.move_radius / self.eps
+        dj = np.arange(-self.dmax, self.dmax + 1, dtype=np.int64)
+        return np.floor(np.sqrt(np.maximum(0.0, r_units**2 - dj.astype(float) ** 2))
+                        + 1e-9).astype(np.int64)
+
+    def degree_table(self) -> np.ndarray:
+        """``|Gamma(x)|`` for every lattice point, as a ``(g, g)`` array.
+
+        ``Gamma(x)`` includes ``x`` itself (distance 0), so every entry
+        is at least 1.  Interior points of a large lattice all share the
+        maximal value ``|disc_offsets(r/eps)|``; border points are
+        clipped.
+        """
+        g = self.grid_size
+        widths = self._per_offset_width()
+        offsets = np.arange(-self.dmax, self.dmax + 1, dtype=np.int64)
+        idx = np.arange(g, dtype=np.int64)
+        degree = np.zeros((g, g), dtype=np.int64)
+        for dj, width in zip(offsets, widths):
+            # Columns j with j + dj inside the lattice.
+            valid_j = (idx + dj >= 0) & (idx + dj < g)
+            # Clipped 1-D count of admissible row offsets at each row i.
+            count_i = np.minimum(idx, width) + np.minimum(g - 1 - idx, width) + 1
+            degree += count_i[:, None] * valid_j[None, :].astype(np.int64)
+        return degree
+
+    def stationary_position_distribution(self) -> np.ndarray:
+        """Stationary distribution ``pi(x) = |Gamma(x)| / sum_y |Gamma(y)|``.
+
+        Returned as a flat array of length ``g^2`` in row-major
+        ``(i, j)`` order.
+        """
+        deg = self.degree_table().astype(float).ravel()
+        return deg / deg.sum()
+
+    def uniformity_ratio(self) -> float:
+        """``max pi / min pi`` — the paper's "almost uniform" constant
+        ``gamma^2`` (1.0 for ``r = 0``)."""
+        deg = self.degree_table()
+        return float(deg.max() / deg.min())
+
+    def sample_stationary_indices(self, count: int, *, seed: SeedLike = None,
+                                  ) -> tuple[np.ndarray, np.ndarray]:
+        """Draw *count* i.i.d. stationary positions as index arrays ``(ix, iy)``.
+
+        Exact sampling from ``pi`` — the *perfect simulation* required
+        for a stationary geometric-MEG.
+        """
+        require(count >= 1, "count must be >= 1")
+        rng = as_generator(seed)
+        flat = rng.choice(self.num_points, size=count,
+                          p=self.stationary_position_distribution())
+        ix, iy = np.divmod(flat, self.grid_size)
+        return ix.astype(np.int64), iy.astype(np.int64)
+
+    def to_coordinates(self, ix: np.ndarray, iy: np.ndarray) -> np.ndarray:
+        """Convert index arrays to Euclidean coordinates, shape ``(count, 2)``."""
+        return np.column_stack((ix * self.eps, iy * self.eps)).astype(float)
+
+    def step_indices(self, ix: np.ndarray, iy: np.ndarray, *,
+                     rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+        """Advance walkers one step: uniform over ``Gamma(x)`` per walker.
+
+        Vectorised rejection sampling over the ``(2 dmax + 1)^2`` offset
+        box intersected with the disc and the lattice borders — exactly
+        uniform over the admissible moves.  Arrays are not modified;
+        new arrays are returned.
+        """
+        dmax = self.dmax
+        if dmax == 0:
+            return ix.copy(), iy.copy()
+        g = self.grid_size
+        r2 = (self.move_radius / self.eps) ** 2 + 1e-9
+        count = ix.shape[0]
+        new_ix = ix.copy()
+        new_iy = iy.copy()
+        pending = np.arange(count)
+        # Worst-case acceptance is ~pi/16 (corner point); geometric decay
+        # makes the expected number of rounds tiny.
+        while pending.size:
+            k = pending.size
+            di = rng.integers(-dmax, dmax + 1, size=k)
+            dj = rng.integers(-dmax, dmax + 1, size=k)
+            cand_i = ix[pending] + di
+            cand_j = iy[pending] + dj
+            ok = (
+                (di * di + dj * dj <= r2)
+                & (cand_i >= 0) & (cand_i < g)
+                & (cand_j >= 0) & (cand_j < g)
+            )
+            accepted = pending[ok]
+            new_ix[accepted] = cand_i[ok]
+            new_iy[accepted] = cand_j[ok]
+            pending = pending[~ok]
+        return new_ix, new_iy
+
+    def gamma_size(self, ix: int, iy: int) -> int:
+        """``|Gamma(x)|`` of a single lattice point (reference implementation).
+
+        Enumerates the offset disc directly; used in tests to certify
+        :meth:`degree_table`.
+        """
+        di, dj = disc_offsets(self.move_radius / self.eps)
+        g = self.grid_size
+        ci, cj = ix + di, iy + dj
+        return int(((ci >= 0) & (ci < g) & (cj >= 0) & (cj < g)).sum())

@@ -1,0 +1,32 @@
+"""Markov-chain substrate: generic finite chains and the two-state edge chain."""
+
+from repro.markov.chain import (
+    FiniteMarkovChain,
+    chain_from_kernel,
+    empirical_distribution,
+    is_stochastic_matrix,
+    stationary_distribution,
+    total_variation,
+)
+from repro.markov.spectral import (
+    algebraic_connectivity,
+    lazy_walk_matrix,
+    second_eigenvalue_modulus,
+    spectral_gap,
+)
+from repro.markov.two_state import TwoStateChain, stationary_edge_probability
+
+__all__ = [
+    "FiniteMarkovChain",
+    "chain_from_kernel",
+    "empirical_distribution",
+    "is_stochastic_matrix",
+    "stationary_distribution",
+    "total_variation",
+    "TwoStateChain",
+    "stationary_edge_probability",
+    "spectral_gap",
+    "second_eigenvalue_modulus",
+    "algebraic_connectivity",
+    "lazy_walk_matrix",
+]

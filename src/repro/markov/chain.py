@@ -1,0 +1,204 @@
+"""Finite Markov chains over an explicit state space.
+
+This is the substrate behind Definition 2.1 of the paper: a Markovian
+evolving graph *is* a Markov chain whose states are graphs.  For the
+models we simulate at scale the chain is factored (per-edge or
+per-walker), but the generic machinery here is used to
+
+* compute stationary distributions exactly (linear solve / power
+  iteration),
+* verify stationarity of the factored samplers in tests,
+* estimate mixing quantities (relaxation time, total-variation mixing
+  time) for small instances.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import require, require_node, require_positive_int
+
+__all__ = [
+    "FiniteMarkovChain",
+    "stationary_distribution",
+    "total_variation",
+    "is_stochastic_matrix",
+]
+
+
+def is_stochastic_matrix(matrix: np.ndarray, *, atol: float = 1e-10) -> bool:
+    """Return ``True`` iff *matrix* is a (row-)stochastic square matrix."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    if np.any(matrix < -atol):
+        return False
+    return bool(np.allclose(matrix.sum(axis=1), 1.0, atol=atol))
+
+
+def total_variation(p: np.ndarray, q: np.ndarray) -> float:
+    """Total-variation distance ``0.5 * ||p - q||_1`` between distributions."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    if p.shape != q.shape:
+        raise ValueError(f"distribution shapes differ: {p.shape} vs {q.shape}")
+    return 0.5 * float(np.abs(p - q).sum())
+
+
+def stationary_distribution(matrix: np.ndarray, *, atol: float = 1e-10) -> np.ndarray:
+    """Stationary distribution of a row-stochastic matrix.
+
+    Solves ``pi P = pi`` subject to ``sum(pi) = 1`` via a dense linear
+    solve.  For chains with several recurrent classes this returns one
+    stationary distribution (the least-squares solution); the chains used
+    in this library are irreducible, for which the solution is unique.
+
+    Raises
+    ------
+    ValueError
+        If *matrix* is not row-stochastic.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if not is_stochastic_matrix(matrix, atol=1e-8):
+        raise ValueError("matrix is not row-stochastic")
+    k = matrix.shape[0]
+    # (P^T - I) pi = 0 with the normalisation row appended.
+    a = np.vstack([matrix.T - np.eye(k), np.ones((1, k))])
+    b = np.zeros(k + 1)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= atol:
+        raise ValueError("failed to compute a stationary distribution")
+    return pi / total
+
+
+@dataclass(frozen=True)
+class FiniteMarkovChain:
+    """A finite Markov chain given by an explicit transition matrix.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic ``(k, k)`` matrix; ``transition[i, j]`` is
+        ``P(X_{t+1} = j | X_t = i)``.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> chain = FiniteMarkovChain(np.array([[0.5, 0.5], [0.25, 0.75]]))
+    >>> chain.num_states
+    2
+    >>> float(chain.stationary()[0])  # doctest: +ELLIPSIS
+    0.333...
+    """
+
+    transition: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.ascontiguousarray(np.asarray(self.transition, dtype=float))
+        if not is_stochastic_matrix(matrix, atol=1e-8):
+            raise ValueError("transition must be a row-stochastic square matrix")
+        object.__setattr__(self, "transition", matrix)
+
+    @property
+    def num_states(self) -> int:
+        """Number of states ``k``."""
+        return self.transition.shape[0]
+
+    def step_distribution(self, dist: np.ndarray, steps: int = 1) -> np.ndarray:
+        """Push a distribution forward ``steps`` steps: ``dist @ P^steps``."""
+        steps = require_positive_int(steps, "steps")
+        out = np.asarray(dist, dtype=float)
+        require(out.shape == (self.num_states,), "distribution has wrong length")
+        for _ in range(steps):
+            out = out @ self.transition
+        return out
+
+    def stationary(self) -> np.ndarray:
+        """The stationary distribution (unique for irreducible chains)."""
+        return stationary_distribution(self.transition)
+
+    def sample_path(self, length: int, *, start: int | None = None,
+                    seed: SeedLike = None) -> np.ndarray:
+        """Sample a trajectory of ``length`` states.
+
+        Parameters
+        ----------
+        length:
+            Number of states in the returned path (>= 1).
+        start:
+            Initial state; if ``None`` the initial state is drawn from the
+            stationary distribution (the *stationary start* used
+            throughout the paper).
+        seed:
+            RNG seed or generator.
+        """
+        length = require_positive_int(length, "length")
+        rng = as_generator(seed)
+        k = self.num_states
+        if start is None:
+            state = int(rng.choice(k, p=self.stationary()))
+        else:
+            state = require_node(start, k, "start")
+        path = np.empty(length, dtype=np.int64)
+        path[0] = state
+        # Row-wise CDFs let us sample each transition with one uniform.
+        cdf = np.cumsum(self.transition, axis=1)
+        u = rng.random(length - 1) if length > 1 else np.empty(0)
+        for t in range(1, length):
+            state = int(np.searchsorted(cdf[state], u[t - 1], side="right"))
+            state = min(state, k - 1)
+            path[t] = state
+        return path
+
+    def mixing_time(self, eps: float = 0.25, *, max_steps: int = 100_000) -> int:
+        """Smallest ``t`` with worst-case TV distance to stationarity <= *eps*.
+
+        Computed by iterating the matrix power from every start state;
+        intended for small chains (tests, diagnostics).
+        """
+        require(0 < eps < 1, "eps must be in (0, 1)")
+        pi = self.stationary()
+        dist = np.eye(self.num_states)
+        for t in range(1, max_steps + 1):
+            dist = dist @ self.transition
+            worst = max(total_variation(dist[i], pi) for i in range(self.num_states))
+            if worst <= eps:
+                return t
+        raise RuntimeError(f"chain did not mix within {max_steps} steps")
+
+    def relaxation_time(self) -> float:
+        """``1 / (1 - |lambda_2|)`` from the second-largest eigenvalue modulus.
+
+        Returns ``inf`` for chains whose second eigenvalue has modulus 1
+        (reducible or periodic chains).
+        """
+        eigvals = np.linalg.eigvals(self.transition)
+        mods = np.sort(np.abs(eigvals))[::-1]
+        # First eigenvalue is 1 (Perron); guard against numerical noise.
+        lam2 = mods[1] if len(mods) > 1 else 0.0
+        if lam2 >= 1.0 - 1e-12:
+            return float("inf")
+        return float(1.0 / (1.0 - lam2))
+
+
+def empirical_distribution(samples: Sequence[int] | np.ndarray, k: int) -> np.ndarray:
+    """Empirical distribution of integer *samples* over ``{0..k-1}``."""
+    k = require_positive_int(k, "k")
+    counts = np.bincount(np.asarray(samples, dtype=np.int64), minlength=k).astype(float)
+    if counts.sum() == 0:
+        raise ValueError("samples is empty")
+    return counts / counts.sum()
+
+
+def chain_from_kernel(k: int, kernel: Callable[[int], np.ndarray]) -> FiniteMarkovChain:
+    """Build a :class:`FiniteMarkovChain` from a row-kernel function."""
+    k = require_positive_int(k, "k")
+    rows = np.vstack([np.asarray(kernel(i), dtype=float) for i in range(k)])
+    return FiniteMarkovChain(rows)

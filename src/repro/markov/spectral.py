@@ -1,0 +1,70 @@
+"""Spectral diagnostics for Markov chains and graph snapshots.
+
+Provides the standard spectral quantities used to sanity-check the
+expansion measurements: spectral gap of a transition matrix, algebraic
+connectivity and a Cheeger-style vertex-expansion bound for static
+graphs.  These are diagnostics, not part of the paper's proofs; the
+paper works with combinatorial vertex expansion directly
+(Definition 2.2), which lives in :mod:`repro.core.expansion`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require
+
+__all__ = [
+    "spectral_gap",
+    "second_eigenvalue_modulus",
+    "algebraic_connectivity",
+    "lazy_walk_matrix",
+]
+
+
+def second_eigenvalue_modulus(transition: np.ndarray) -> float:
+    """Modulus of the second-largest eigenvalue of a stochastic matrix."""
+    transition = np.asarray(transition, dtype=float)
+    require(transition.ndim == 2 and transition.shape[0] == transition.shape[1],
+            "transition must be a square matrix")
+    mods = np.sort(np.abs(np.linalg.eigvals(transition)))[::-1]
+    return float(mods[1]) if len(mods) > 1 else 0.0
+
+
+def spectral_gap(transition: np.ndarray) -> float:
+    """``1 - |lambda_2|`` of a stochastic matrix (0 for non-mixing chains)."""
+    return max(0.0, 1.0 - second_eigenvalue_modulus(transition))
+
+
+def lazy_walk_matrix(adjacency: np.ndarray, *, laziness: float = 0.5) -> np.ndarray:
+    """Lazy random-walk transition matrix of a static graph.
+
+    ``P = laziness * I + (1 - laziness) * D^{-1} A`` with isolated nodes
+    treated as absorbing.  The laziness removes periodicity so the
+    spectral gap is meaningful.
+    """
+    a = np.asarray(adjacency, dtype=float)
+    require(a.ndim == 2 and a.shape[0] == a.shape[1], "adjacency must be square")
+    require(0.0 <= laziness < 1.0, "laziness must be in [0, 1)")
+    deg = a.sum(axis=1)
+    n = a.shape[0]
+    walk = np.zeros_like(a)
+    nonzero = deg > 0
+    walk[nonzero] = a[nonzero] / deg[nonzero, None]
+    isolated = np.flatnonzero(~nonzero)
+    walk[isolated, isolated] = 1.0
+    return laziness * np.eye(n) + (1.0 - laziness) * walk
+
+
+def algebraic_connectivity(adjacency: np.ndarray) -> float:
+    """Second-smallest eigenvalue of the (combinatorial) Laplacian.
+
+    Positive iff the graph is connected; grows with edge expansion
+    (Cheeger).  Used as a cross-check against the combinatorial
+    expansion measurements on small graphs.
+    """
+    a = np.asarray(adjacency, dtype=float)
+    require(a.ndim == 2 and a.shape[0] == a.shape[1], "adjacency must be square")
+    lap = np.diag(a.sum(axis=1)) - a
+    eigvals = np.sort(np.linalg.eigvalsh(lap))
+    return float(eigvals[1]) if len(eigvals) > 1 else 0.0

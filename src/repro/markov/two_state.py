@@ -1,0 +1,166 @@
+"""The two-state edge chain of edge-Markovian evolving graphs (Section 4).
+
+Every potential edge of an edge-MEG evolves independently according to
+
+.. math::
+
+    M = \\begin{pmatrix} 1-p & p \\\\ q & 1-q \\end{pmatrix}
+
+where state 0 = "edge absent", state 1 = "edge present", ``p`` is the
+*birth-rate* and ``q`` the *death-rate*.  For ``0 < p, q < 1`` the chain
+is irreducible and aperiodic with unique stationary distribution
+
+.. math::
+
+    \\pi = \\left( \\frac{q}{p+q},\\; \\frac{p}{p+q} \\right)
+
+so the stationary snapshot of the whole graph is Erdős–Rényi
+``G(n, p_hat)`` with ``p_hat = p / (p + q)``.
+
+This module provides the closed-form quantities used by both the
+simulator and the analytical bound calculators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.markov.chain import FiniteMarkovChain
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import require, require_positive_int, require_probability
+
+__all__ = ["TwoStateChain", "stationary_edge_probability"]
+
+
+def stationary_edge_probability(p: float, q: float) -> float:
+    """``p_hat = p/(p+q)``, the stationary probability that an edge exists.
+
+    Defined for ``p + q > 0``; for ``p = q = 0`` every configuration is
+    frozen and there is no unique stationary distribution.
+    """
+    p = require_probability(p, "p")
+    q = require_probability(q, "q")
+    require(p + q > 0, "p + q must be positive (p = q = 0 freezes the chain)")
+    return p / (p + q)
+
+
+@dataclass(frozen=True)
+class TwoStateChain:
+    """Birth/death chain of a single edge: state 1 = present, 0 = absent.
+
+    Parameters
+    ----------
+    p:
+        Birth-rate: ``P(X_{t+1}=1 | X_t=0)``.
+    q:
+        Death-rate: ``P(X_{t+1}=0 | X_t=1)``.
+
+    Examples
+    --------
+    >>> chain = TwoStateChain(p=0.2, q=0.1)
+    >>> round(chain.p_hat, 6)
+    0.666667
+    >>> float(chain.transition_power(0)[0, 0])
+    1.0
+    """
+
+    p: float
+    q: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "p", require_probability(self.p, "p"))
+        object.__setattr__(self, "q", require_probability(self.q, "q"))
+        require(self.p + self.q > 0, "p + q must be positive")
+
+    @property
+    def p_hat(self) -> float:
+        """Stationary probability that the edge is present."""
+        return stationary_edge_probability(self.p, self.q)
+
+    @property
+    def transition(self) -> np.ndarray:
+        """The ``2x2`` transition matrix (row-stochastic)."""
+        return np.array([[1 - self.p, self.p], [self.q, 1 - self.q]], dtype=float)
+
+    def as_finite_chain(self) -> FiniteMarkovChain:
+        """View as a generic :class:`~repro.markov.chain.FiniteMarkovChain`."""
+        return FiniteMarkovChain(self.transition)
+
+    @property
+    def second_eigenvalue(self) -> float:
+        """``lambda_2 = 1 - p - q``; controls the speed of mixing."""
+        return 1.0 - self.p - self.q
+
+    def relaxation_time(self) -> float:
+        """``1 / (p + q)`` up to the sign of ``lambda_2``.
+
+        ``inf`` when ``|1 - p - q| = 1`` (the frozen/periodic edge cases
+        ``p = q = 0`` are already excluded; ``p = q = 1`` is periodic).
+        """
+        lam = abs(self.second_eigenvalue)
+        if lam >= 1.0:
+            return float("inf")
+        return 1.0 / (1.0 - lam)
+
+    def transition_power(self, t: int) -> np.ndarray:
+        """Closed-form ``t``-step transition matrix ``M^t``.
+
+        Uses the spectral decomposition: with ``s = p + q`` and
+        ``lam = (1 - s)^t``::
+
+            P(1 at t | 0 at 0) = p_hat (1 - lam)
+            P(1 at t | 1 at 0) = p_hat + (1 - p_hat) lam
+        """
+        t = int(t)
+        require(t >= 0, "t must be >= 0")
+        if t == 0:
+            return np.eye(2)
+        lam = self.second_eigenvalue**t
+        ph = self.p_hat
+        p01 = ph * (1 - lam)
+        p11 = ph + (1 - ph) * lam
+        return np.array([[1.0 - p01, p01], [1.0 - p11, p11]], dtype=float)
+
+    def autocovariance(self, t: int) -> float:
+        """Stationary autocovariance ``Cov(X_0, X_t) = p_hat(1-p_hat) lam^t``."""
+        t = int(t)
+        require(t >= 0, "t must be >= 0")
+        ph = self.p_hat
+        return ph * (1 - ph) * self.second_eigenvalue**t
+
+    def sample_stationary(self, size: int, *, seed: SeedLike = None) -> np.ndarray:
+        """Draw ``size`` independent stationary edge states (bool array)."""
+        size = require_positive_int(size, "size")
+        rng = as_generator(seed)
+        return rng.random(size) < self.p_hat
+
+    def step_states(self, states: np.ndarray, *, seed: SeedLike = None,
+                    out: np.ndarray | None = None) -> np.ndarray:
+        """Advance a bool array of independent edge states by one step.
+
+        Vectorised: one uniform draw per edge.  ``states`` is not
+        modified unless passed as *out*.
+        """
+        states = np.asarray(states, dtype=bool)
+        rng = as_generator(seed)
+        u = rng.random(states.shape)
+        result = np.where(states, u >= self.q, u < self.p)
+        if out is not None:
+            out[...] = result
+            return out
+        return result
+
+    def expected_lifetime(self) -> float:
+        """Expected number of steps an edge stays alive once born: ``1/q``."""
+        if self.q == 0:
+            return math.inf
+        return 1.0 / self.q
+
+    def expected_absence(self) -> float:
+        """Expected number of steps an edge stays absent once dead: ``1/p``."""
+        if self.p == 0:
+            return math.inf
+        return 1.0 / self.p

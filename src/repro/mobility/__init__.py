@@ -1,0 +1,22 @@
+"""Further mobility models with (almost) uniform stationary distributions."""
+
+from repro.mobility.base import MobilityMEG, MobilityModel
+from repro.mobility.direction import RandomDirection
+from repro.mobility.sphere import SphereSnapshot, SphereWaypointMEG, sphere_radius_for_density
+from repro.mobility.torus_walk import TorusGridWalk
+from repro.mobility.uniformity import UniformityReport, measure_uniformity
+from repro.mobility.waypoint import RandomWaypoint, RandomWaypointTorus
+
+__all__ = [
+    "MobilityModel",
+    "MobilityMEG",
+    "RandomWaypoint",
+    "RandomWaypointTorus",
+    "RandomDirection",
+    "TorusGridWalk",
+    "SphereWaypointMEG",
+    "SphereSnapshot",
+    "sphere_radius_for_density",
+    "UniformityReport",
+    "measure_uniformity",
+]

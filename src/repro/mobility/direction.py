@@ -1,0 +1,80 @@
+"""Random-direction mobility with reflection — the billiard model.
+
+References [3, 25, 28] of the paper.  Each node travels in a straight
+line at constant speed; on hitting a border it reflects specularly
+(angle of incidence = angle of reflection); independently, with
+probability ``turn_probability`` per step it redraws a fresh uniform
+direction.  The uniform position distribution (with uniform direction)
+is exactly stationary — reflections and direction redraws both preserve
+it — so ``reset`` is a perfect simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import require, require_positive, require_probability
+
+__all__ = ["RandomDirection"]
+
+
+class RandomDirection(MobilityModel):
+    """Billiard mobility in ``[0, side]^2``.
+
+    Parameters
+    ----------
+    n, side:
+        Population size and region side.
+    speed:
+        Distance per time step.
+    turn_probability:
+        Per-step probability of redrawing a uniform direction
+        (``0`` = pure billiard; ``1`` = fresh direction every step,
+        a random-walk-like motion).
+    """
+
+    exact_stationary_start = True
+
+    def __init__(self, n: int, side: float, *, speed: float,
+                 turn_probability: float = 0.1) -> None:
+        super().__init__(n, side)
+        self.speed = require_positive(speed, "speed")
+        require(self.speed <= side, "speed must not exceed the region side")
+        self.turn_probability = require_probability(turn_probability, "turn_probability")
+        self._pos = np.zeros((self.n, 2))
+        self._vel = np.zeros((self.n, 2))
+        self._rng = as_generator(None)
+
+    def reset(self, seed: SeedLike = None) -> None:
+        self._rng = as_generator(seed)
+        self._pos = self._rng.uniform(0.0, self.side, size=(self.n, 2))
+        self._draw_directions(np.ones(self.n, dtype=bool))
+
+    def _draw_directions(self, mask: np.ndarray) -> None:
+        count = int(mask.sum())
+        if count:
+            theta = self._rng.uniform(0.0, 2.0 * np.pi, size=count)
+            self._vel[mask, 0] = self.speed * np.cos(theta)
+            self._vel[mask, 1] = self.speed * np.sin(theta)
+
+    def step(self) -> None:
+        if self.turn_probability > 0:
+            self._draw_directions(self._rng.random(self.n) < self.turn_probability)
+        pos = self._pos + self._vel
+        # Specular reflection by folding: reflect coordinates across the
+        # borders until inside (speed <= side, so at most one fold per axis
+        # per border, but folding handles corners uniformly).
+        for axis in range(2):
+            over = pos[:, axis] > self.side
+            pos[over, axis] = 2.0 * self.side - pos[over, axis]
+            self._vel[over, axis] = -self._vel[over, axis]
+            under = pos[:, axis] < 0.0
+            pos[under, axis] = -pos[under, axis]
+            self._vel[under, axis] = -self._vel[under, axis]
+        np.clip(pos, 0.0, self.side, out=pos)
+        self._pos = pos
+
+    def positions(self) -> np.ndarray:
+        return self._pos.copy()

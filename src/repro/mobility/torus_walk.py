@@ -1,0 +1,69 @@
+"""The walkers model on a toroidal grid (reference [14] of the paper).
+
+Nodes sit on a ``g x g`` integer grid with wrap-around; each step a node
+moves to a uniformly random grid point within (toroidal) Euclidean
+distance ``r``, exactly like the paper's lattice walk but without
+borders.  Translation invariance makes the uniform distribution exactly
+stationary (and, unlike the bordered lattice, *exactly* — not just
+almost — uniform), so ``reset`` is a perfect simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.geometric.lattice import disc_offsets
+from repro.mobility.base import MobilityModel
+from repro.util.rng import SeedLike, as_generator
+from repro.util.validation import require, require_nonnegative, require_positive
+
+__all__ = ["TorusGridWalk"]
+
+
+class TorusGridWalk(MobilityModel):
+    """Uniform random walk on the discrete torus ``(Z_g)^2``.
+
+    Parameters
+    ----------
+    n:
+        Number of walkers.
+    side:
+        Physical side length of the region; grid spacing is
+        ``side / grid_size``.
+    grid_size:
+        Grid points per axis (``g``).
+    move_radius:
+        Move radius ``r`` in *physical* units; the per-step offset set is
+        all integer offsets within ``r / spacing`` grid units.
+    """
+
+    exact_stationary_start = True
+
+    def __init__(self, n: int, side: float, *, grid_size: int,
+                 move_radius: float) -> None:
+        super().__init__(n, side)
+        self.grid_size = int(grid_size)
+        require(self.grid_size >= 2, "grid_size must be >= 2")
+        self.move_radius = require_nonnegative(move_radius, "move_radius")
+        self.spacing = require_positive(side, "side") / self.grid_size
+        di, dj = disc_offsets(self.move_radius / self.spacing)
+        require(di.shape[0] >= 1, "offset set must be non-empty")
+        self._offsets = np.column_stack((di, dj))
+        self._idx = np.zeros((self.n, 2), dtype=np.int64)
+        self._rng = as_generator(None)
+
+    @property
+    def num_moves(self) -> int:
+        """Size of the per-step move set (same for every point: no borders)."""
+        return self._offsets.shape[0]
+
+    def reset(self, seed: SeedLike = None) -> None:
+        self._rng = as_generator(seed)
+        self._idx = self._rng.integers(0, self.grid_size, size=(self.n, 2))
+
+    def step(self) -> None:
+        picks = self._rng.integers(0, self._offsets.shape[0], size=self.n)
+        self._idx = (self._idx + self._offsets[picks]) % self.grid_size
+
+    def positions(self) -> np.ndarray:
+        return self._idx.astype(float) * self.spacing

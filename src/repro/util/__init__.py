@@ -1,0 +1,38 @@
+"""Shared utilities: RNG management, validation, timing, logging."""
+
+from repro.util.logging import enable_console_logging, get_logger
+from repro.util.rng import SeedLike, as_generator, as_seed_sequence, derive_seed, spawn, spawn_iter
+from repro.util.timing import Timer, format_seconds
+from repro.util.unionfind import UnionFind
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_int,
+    require_node,
+    require_nonnegative,
+    require_positive,
+    require_positive_int,
+    require_probability,
+)
+
+__all__ = [
+    "SeedLike",
+    "as_generator",
+    "as_seed_sequence",
+    "derive_seed",
+    "spawn",
+    "spawn_iter",
+    "Timer",
+    "UnionFind",
+    "format_seconds",
+    "get_logger",
+    "enable_console_logging",
+    "require",
+    "require_int",
+    "require_positive_int",
+    "require_nonnegative",
+    "require_positive",
+    "require_probability",
+    "require_in_range",
+    "require_node",
+]

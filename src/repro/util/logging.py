@@ -1,0 +1,35 @@
+"""Library logging configuration.
+
+The library never configures the root logger; applications opt in via
+:func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_ROOT_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger inside the ``repro`` namespace."""
+    if name is None or name == _ROOT_NAME:
+        return logging.getLogger(_ROOT_NAME)
+    if name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(_ROOT_NAME + "." + name)
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,52 @@
+"""Lightweight wall-clock timing utilities for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "format_seconds"]
+
+
+@dataclass
+class Timer:
+    """Context manager measuring elapsed wall-clock time.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float = field(default=0.0, repr=False)
+    _running: bool = field(default=False, repr=False)
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._running = True
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def stop(self) -> float:
+        """Stop the timer (idempotent) and return the elapsed seconds."""
+        if self._running:
+            self.elapsed = time.perf_counter() - self._start
+            self._running = False
+        return self.elapsed
+
+
+def format_seconds(seconds: float) -> str:
+    """Render a duration compactly (``1.23s``, ``4m05s``, ``312ms``)."""
+    if seconds < 0:
+        raise ValueError(f"duration must be >= 0, got {seconds}")
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.0f}ms"
+    if seconds < 120.0:
+        return f"{seconds:.2f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    return f"{minutes}m{secs:02d}s"

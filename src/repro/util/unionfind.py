@@ -1,0 +1,90 @@
+"""Disjoint-set union (union–find) with path compression and union by size.
+
+Shared by the connectivity analyses of the Erdős–Rényi substrate and
+the geometric snapshots.  The ``n`` elements are the integers
+``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require_positive_int
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic DSU over ``{0..n-1}``.
+
+    Examples
+    --------
+    >>> uf = UnionFind(4)
+    >>> uf.union(0, 1)
+    True
+    >>> uf.connected(0, 1)
+    True
+    >>> uf.num_components
+    3
+    """
+
+    __slots__ = ("_parent", "_size", "_components")
+
+    def __init__(self, n: int) -> None:
+        n = require_positive_int(n, "n")
+        self._parent = np.arange(n, dtype=np.int64)
+        self._size = np.ones(n, dtype=np.int64)
+        self._components = n
+
+    def __len__(self) -> int:
+        return int(self._parent.shape[0])
+
+    @property
+    def num_components(self) -> int:
+        """Current number of disjoint components."""
+        return self._components
+
+    def find(self, x: int) -> int:
+        """Root of *x*'s component (with path compression)."""
+        parent = self._parent
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return int(root)
+
+    def union(self, x: int, y: int) -> bool:
+        """Merge the components of *x* and *y*; True if they were distinct."""
+        rx, ry = self.find(x), self.find(y)
+        if rx == ry:
+            return False
+        if self._size[rx] < self._size[ry]:
+            rx, ry = ry, rx
+        self._parent[ry] = rx
+        self._size[rx] += self._size[ry]
+        self._components -= 1
+        return True
+
+    def union_edges(self, edges: np.ndarray) -> None:
+        """Union every ``(u, v)`` row of an ``(m, 2)`` edge array."""
+        for u, v in np.asarray(edges, dtype=np.int64).reshape(-1, 2).tolist():
+            self.union(u, v)
+
+    def connected(self, x: int, y: int) -> bool:
+        """Whether *x* and *y* are in the same component."""
+        return self.find(x) == self.find(y)
+
+    def component_labels(self) -> np.ndarray:
+        """Root label per element (compressed)."""
+        return np.array([self.find(i) for i in range(len(self))], dtype=np.int64)
+
+    def component_sizes(self) -> np.ndarray:
+        """Sizes of all components, descending."""
+        labels = self.component_labels()
+        _, counts = np.unique(labels, return_counts=True)
+        return np.sort(counts)[::-1]
+
+    def largest_component_size(self) -> int:
+        """Size of the largest component."""
+        return int(self.component_sizes()[0])

@@ -1,0 +1,94 @@
+"""Argument-validation helpers shared across the library.
+
+These raise early, with messages naming the offending parameter, so that
+misconfigured experiments fail at construction time instead of deep
+inside a vectorised kernel.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "require",
+    "require_int",
+    "require_positive_int",
+    "require_nonnegative",
+    "require_positive",
+    "require_probability",
+    "require_in_range",
+    "require_node",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def require_int(value: Any, name: str) -> int:
+    """Return *value* as ``int``; reject non-integral values."""
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise TypeError(f"{name} must be an integer, got {value!r}")
+
+
+def require_positive_int(value: Any, name: str) -> int:
+    """Return *value* as a strictly positive ``int``."""
+    ivalue = require_int(value, name)
+    if ivalue <= 0:
+        raise ValueError(f"{name} must be >= 1, got {ivalue}")
+    return ivalue
+
+
+def require_nonnegative(value: float, name: str) -> float:
+    """Return *value* as a finite ``float`` that is >= 0."""
+    fvalue = float(value)
+    if not math.isfinite(fvalue) or fvalue < 0:
+        raise ValueError(f"{name} must be a finite number >= 0, got {value!r}")
+    return fvalue
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return *value* as a finite ``float`` that is > 0."""
+    fvalue = float(value)
+    if not math.isfinite(fvalue) or fvalue <= 0:
+        raise ValueError(f"{name} must be a finite number > 0, got {value!r}")
+    return fvalue
+
+
+def require_probability(value: float, name: str, *, open_left: bool = False,
+                        open_right: bool = False) -> float:
+    """Return *value* as a float in ``[0, 1]`` (optionally open ends)."""
+    fvalue = float(value)
+    lo_ok = fvalue > 0 if open_left else fvalue >= 0
+    hi_ok = fvalue < 1 if open_right else fvalue <= 1
+    if not (math.isfinite(fvalue) and lo_ok and hi_ok):
+        lo = "(" if open_left else "["
+        hi = ")" if open_right else "]"
+        raise ValueError(f"{name} must be in {lo}0, 1{hi}, got {value!r}")
+    return fvalue
+
+
+def require_in_range(value: float, name: str, lo: float, hi: float) -> float:
+    """Return *value* as a float in the closed interval ``[lo, hi]``."""
+    fvalue = float(value)
+    if not (math.isfinite(fvalue) and lo <= fvalue <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return fvalue
+
+
+def require_node(node: Any, n: int, name: str = "node") -> int:
+    """Return *node* as an int in ``[0, n)``."""
+    inode = require_int(node, name)
+    if not 0 <= inode < n:
+        raise ValueError(f"{name} must be in [0, {n}), got {inode}")
+    return inode

@@ -1,0 +1,114 @@
+"""Tests for repro.analysis.stats and repro.analysis.fitting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.fitting import constant_ratio_check, fit_power_law
+from repro.analysis.stats import bootstrap_ci, summarize, whp_quantile
+
+
+class TestSummarize:
+    def test_basic_moments(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.minimum == 1.0 and s.maximum == 4.0
+        assert s.median == pytest.approx(2.5)
+
+    def test_single_value_zero_std(self):
+        s = summarize([5.0])
+        assert s.std == 0.0
+
+    def test_failures_recorded(self):
+        s = summarize([1.0, 2.0], failures=3)
+        assert s.failures == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_quantiles_ordered(self):
+        rng = np.random.default_rng(0)
+        s = summarize(rng.random(500))
+        assert s.median <= s.q90 <= s.q99 <= s.maximum
+
+    def test_str_render(self):
+        assert "mean=" in str(summarize([1.0, 2.0]))
+
+
+class TestBootstrap:
+    def test_interval_contains_mean_usually(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(10.0, 1.0, size=200)
+        lo, hi = bootstrap_ci(data, seed=2)
+        assert lo < 10.2 and hi > 9.8
+        assert lo < hi
+
+    def test_deterministic_with_seed(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert bootstrap_ci(data, seed=3) == bootstrap_ci(data, seed=3)
+
+    def test_confidence_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([1.0, 2.0], confidence=1.0)
+
+
+class TestWhpQuantile:
+    def test_few_samples_gives_max(self):
+        assert whp_quantile([1.0, 5.0, 3.0], 100) == 5.0
+
+    def test_many_samples_gives_quantile(self):
+        values = np.arange(1000, dtype=float)
+        q = whp_quantile(values, 10)  # 0.9 quantile
+        assert q == pytest.approx(np.quantile(values, 0.9))
+
+
+class TestPowerLawFit:
+    def test_exact_recovery(self):
+        x = np.array([1.0, 2.0, 4.0, 8.0])
+        y = 3.0 * x**1.5
+        fit = fit_power_law(x, y)
+        assert fit.amplitude == pytest.approx(3.0)
+        assert fit.exponent == pytest.approx(1.5)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(amp=st.floats(0.1, 10.0), exp=st.floats(-2.0, 2.0))
+    def test_property_recovery_with_noise_free_data(self, amp, exp):
+        x = np.geomspace(1, 100, 12)
+        fit = fit_power_law(x, amp * x**exp)
+        assert fit.exponent == pytest.approx(exp, abs=1e-9)
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [2, 4, 8])
+        np.testing.assert_allclose(fit.predict([8]), [16.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+
+    def test_rejects_single_x(self):
+        with pytest.raises(ValueError):
+            fit_power_law([2.0, 2.0], [1.0, 2.0])
+
+
+class TestRatioBand:
+    def test_band_values(self):
+        band = constant_ratio_check([2.0, 4.0, 3.0], [1.0, 2.0, 1.0])
+        assert band.min_ratio == 2.0
+        assert band.max_ratio == 3.0
+        assert band.spread == 1.5
+        assert band.within(1.5) and not band.within(1.4)
+
+    def test_constant_relationship_spread_one(self):
+        x = np.array([1.0, 10.0, 100.0])
+        band = constant_ratio_check(2.5 * x, x)
+        assert band.spread == pytest.approx(1.0)
+
+    def test_rejects_zero_predictor(self):
+        with pytest.raises(ValueError):
+            constant_ratio_check([1.0], [0.0])

@@ -1,0 +1,153 @@
+"""Tests for repro.analysis tables, records, asciiplot and sweep."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.records import ExperimentResult, rows_to_csv, rows_to_json
+from repro.analysis.sweep import SweepPoint, parameter_grid, run_sweep
+from repro.analysis.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_bool(self):
+        assert format_value(True) == "yes" and format_value(False) == "no"
+
+    def test_float_precision(self):
+        assert format_value(3.14159) == "3.142"
+
+    def test_integral_float(self):
+        assert format_value(5.0) == "5"
+
+    def test_inf_nan(self):
+        assert format_value(float("inf")) == "inf"
+        assert format_value(float("-inf")) == "-inf"
+        assert format_value(float("nan")) == "nan"
+
+    def test_tiny_value_scientific(self):
+        assert "e" in format_value(1.23e-7)
+
+    def test_string_passthrough(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        rows = [{"name": "a", "value": 1}, {"name": "bb", "value": 22}]
+        text = render_table(rows)
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert set(lines[1]) == {"-"}
+        assert len(lines) == 4
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        text = render_table(rows)
+        assert "3" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_table([])
+
+
+class TestSerialisation:
+    def test_csv_round_trip(self):
+        rows = [{"x": 1, "y": 2.5}, {"x": 2, "y": float("inf")}]
+        csv_text = rows_to_csv(rows)
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "x,y"
+        assert lines[2].endswith("inf")
+
+    def test_json_handles_numpy_and_inf(self):
+        rows = [{"x": np.int64(3), "y": float("inf")}]
+        data = json.loads(rows_to_json(rows))
+        assert data[0]["x"] == 3
+        assert data[0]["y"] == "inf"
+
+
+class TestExperimentResult:
+    def make(self) -> ExperimentResult:
+        result = ExperimentResult("E0", "demo")
+        result.add_row(a=1, b=2.0)
+        result.add_row(a=3, b=4.0)
+        result.add_note("a note")
+        result.verdict = "consistent"
+        return result
+
+    def test_to_text_contains_everything(self):
+        text = self.make().to_text()
+        assert "E0" in text and "demo" in text
+        assert "a note" in text and "consistent" in text
+
+    def test_to_json_parses(self):
+        data = json.loads(self.make().to_json())
+        assert data["experiment_id"] == "E0"
+        assert len(data["rows"]) == 2
+
+    def test_save_writes_three_files(self, tmp_path):
+        path = self.make().save(tmp_path)
+        assert path.exists()
+        assert (tmp_path / "e0.csv").exists()
+        assert (tmp_path / "e0.json").exists()
+
+
+class TestAsciiPlot:
+    def test_contains_markers_and_legend(self):
+        text = ascii_plot({"series": ([1, 2, 3], [1, 4, 9])})
+        assert "o = series" in text
+        canvas_lines = [ln for ln in text.splitlines() if ln.startswith("|")]
+        assert any("o" in ln for ln in canvas_lines)
+
+    def test_log_axes_require_positive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"s": ([0.0, 1.0], [1.0, 2.0])}, logx=True)
+
+    def test_multiple_series_distinct_markers(self):
+        text = ascii_plot({"a": ([1, 2], [1, 2]), "b": ([1, 2], [2, 1])})
+        assert "o = a" in text and "x = b" in text
+
+    def test_title_rendered(self):
+        assert ascii_plot({"s": ([1], [1])}, title="T").startswith("T")
+
+
+class TestSweep:
+    def test_parameter_grid(self):
+        grid = parameter_grid(n=[4, 8], p=[0.1, 0.2])
+        assert len(grid) == 4
+        assert {"n": 4, "p": 0.1} in grid
+
+    def test_grid_requires_axes(self):
+        with pytest.raises(ValueError):
+            parameter_grid()
+
+    def test_run_sweep_merges_results(self):
+        rows = run_sweep(lambda pt: {"double": pt["n"] * 2},
+                         parameter_grid(n=[1, 2]), seed=0)
+        assert rows[0]["double"] == 2 and rows[1]["double"] == 4
+
+    def test_per_point_seeds_stable_under_grid_growth(self):
+        """Adding grid points must not change earlier points' seeds."""
+        seeds_small = []
+        run_sweep(lambda pt: seeds_small.append(pt.seed) or {},
+                  parameter_grid(n=[1, 2]), seed=9)
+        seeds_large = []
+        run_sweep(lambda pt: seeds_large.append(pt.seed) or {},
+                  parameter_grid(n=[1, 2, 3]), seed=9)
+        assert seeds_small == seeds_large[:2]
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep(lambda pt: {}, parameter_grid(n=[1, 2]),
+                  progress=lambda i, total, params: seen.append((i, total)))
+        assert seen == [(0, 2), (1, 2)]
+
+    def test_sweep_point_getitem(self):
+        pt = SweepPoint(params={"n": 5}, seed=1, index=0)
+        assert pt["n"] == 5

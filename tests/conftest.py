@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_positions(rng) -> np.ndarray:
+    """60 random points in a 20x20 square."""
+    return rng.uniform(0.0, 20.0, size=(60, 2))

@@ -1,0 +1,177 @@
+"""Tests for repro.core.bounds — the paper's bound calculators."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import (
+    edge_ladder,
+    edge_lower_bound,
+    edge_upper_bound,
+    edge_upper_bound_closed_form,
+    geometric_ladder,
+    geometric_lower_bound,
+    geometric_upper_bound,
+    geometric_upper_bound_closed_form,
+    ladder_bound,
+    unit_ladder_bound,
+)
+
+
+class TestLadderBound:
+    def test_single_rung(self):
+        # log(n/2) / log(1+k) with hs = [1, n/2].
+        value = ladder_bound([1, 8], [1.0])
+        assert value == pytest.approx(math.log(8) / math.log(2))
+
+    def test_additivity_of_rungs(self):
+        one = ladder_bound([1, 4, 16], [1.0, 1.0])
+        two = ladder_bound([1, 16], [1.0])
+        assert one == pytest.approx(two)
+
+    def test_rejects_increasing_ks(self):
+        with pytest.raises(ValueError):
+            ladder_bound([1, 2, 4], [1.0, 2.0])
+
+    def test_rejects_decreasing_hs(self):
+        with pytest.raises(ValueError):
+            ladder_bound([4, 2], [1.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ladder_bound([1, 2], [1.0, 1.0])
+
+    def test_rejects_nonpositive_k(self):
+        with pytest.raises(ValueError):
+            ladder_bound([1, 2], [0.0])
+
+
+class TestUnitLadderBound:
+    def test_constant_expansion_is_harmonic_like(self):
+        # k_i = 1: sum_{i<=n/2} 1/(i log 2) ~ log(n/2)/log 2.
+        n = 1000
+        value = unit_ladder_bound(n, lambda i: np.ones_like(i))
+        expected = sum(1.0 / (i * math.log(2)) for i in range(1, n // 2 + 1))
+        assert value == pytest.approx(expected)
+
+    def test_rejects_zero_k(self):
+        with pytest.raises(ValueError):
+            unit_ladder_bound(10, lambda i: np.zeros_like(i))
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(4, 200))
+    def test_property_monotone_in_k(self, n):
+        weak = unit_ladder_bound(n, lambda i: np.full_like(i, 0.5, dtype=float))
+        strong = unit_ladder_bound(n, lambda i: np.full_like(i, 2.0, dtype=float))
+        assert strong < weak
+
+
+class TestGeometricBounds:
+    def test_ladder_regimes(self):
+        ladder = geometric_ladder(1024, 8.0, alpha=0.25, beta=0.25)
+        knee = 0.25 * 64  # alpha R^2 = 16
+        small = ladder.values([1, 4, 16])
+        np.testing.assert_allclose(small, [16.0, 4.0, 1.0])
+        large = ladder.values([64])
+        np.testing.assert_allclose(large, [0.25 * 8 / 8.0])
+        assert "geometric" in ladder.description
+        assert knee == 16
+
+    def test_ladder_continuous_at_knee(self):
+        # alpha R^2 / h == beta R / sqrt(h) at h = alpha R^2 when beta = sqrt(alpha).
+        radius = 10.0
+        alpha = 0.25
+        ladder = geometric_ladder(10_000, radius, alpha=alpha, beta=math.sqrt(alpha))
+        knee = alpha * radius * radius
+        left, right = ladder.values([knee * 0.999, knee * 1.001])
+        assert left == pytest.approx(right, rel=0.01)
+
+    def test_upper_bound_decreases_with_radius(self):
+        assert geometric_upper_bound(4096, 32.0) < geometric_upper_bound(4096, 8.0)
+
+    def test_upper_bound_grows_with_n(self):
+        assert geometric_upper_bound(16384, 8.0) > geometric_upper_bound(1024, 8.0)
+
+    def test_closed_form_dominated_by_sqrt_term(self):
+        n, radius = 10_000, 5.0
+        value = geometric_upper_bound_closed_form(n, radius)
+        assert value >= math.sqrt(n) / radius
+
+    def test_closed_form_loglog_clamped(self):
+        # Small radius: log log term must not go negative.
+        assert geometric_upper_bound_closed_form(100, 2.0) == pytest.approx(
+            math.sqrt(100) / 2.0)
+
+    def test_lower_bound_formula(self):
+        assert geometric_lower_bound(400, 5.0, 1.0) == pytest.approx(20 / (2 * 7.0))
+
+    def test_lower_bound_decreases_with_speed(self):
+        assert geometric_lower_bound(400, 5.0, 4.0) < geometric_lower_bound(400, 5.0, 0.0)
+
+    def test_bound_sum_matches_theorem_shape(self):
+        """The finite Cor 2.6 sum for the geometric ladder is within a
+        constant factor of sqrt(n)/R + log log R across a wide sweep."""
+        for n in (256, 1024, 4096, 16384):
+            for radius in (4.0, 8.0, math.sqrt(n) / 4):
+                if radius > math.sqrt(n):
+                    continue
+                exact = geometric_upper_bound(n, radius)
+                shape = geometric_upper_bound_closed_form(n, radius) + 1.0
+                assert exact / shape < 30.0
+                assert exact / shape > 0.05
+
+
+class TestEdgeBounds:
+    def test_ladder_regimes(self):
+        n, p_hat = 1000, 0.01
+        ladder = edge_ladder(n, p_hat, c=1.0)
+        np.testing.assert_allclose(ladder.values([1, 50, 100]), [10.0, 10.0, 10.0])
+        np.testing.assert_allclose(ladder.values([200]), [5.0])
+
+    def test_ladder_continuous_at_knee(self):
+        n, p_hat = 1000, 0.01
+        ladder = edge_ladder(n, p_hat, c=2.0)
+        knee = 1.0 / p_hat
+        left, right = ladder.values([knee * 0.999, knee * 1.001])
+        assert left == pytest.approx(right, rel=0.01)
+
+    def test_upper_bound_decreases_with_density(self):
+        assert edge_upper_bound(1000, 0.1) < edge_upper_bound(1000, 0.01)
+
+    def test_closed_form_requires_supercritical(self):
+        with pytest.raises(ValueError):
+            edge_upper_bound_closed_form(100, 1e-4)
+
+    def test_closed_form_value(self):
+        n, p_hat = 1000, 0.01  # n p_hat = 10
+        value = edge_upper_bound_closed_form(n, p_hat, c_loglog=0.0)
+        assert value == pytest.approx(math.log(1000) / math.log(10))
+
+    def test_lower_bound_formula(self):
+        n, p_hat = 1000, 0.01
+        assert edge_lower_bound(n, p_hat) == pytest.approx(
+            math.log(500) / math.log(20))
+
+    def test_lower_bound_requires_supercritical(self):
+        with pytest.raises(ValueError):
+            edge_lower_bound(100, 1e-3)
+
+    def test_lower_below_upper_in_window(self):
+        for n in (256, 1024, 4096):
+            for factor in (2.0, 8.0, 32.0):
+                p_hat = min(0.5, factor * math.log(n) / n)
+                assert edge_lower_bound(n, p_hat) <= \
+                    edge_upper_bound_closed_form(n, p_hat) + 1e-9
+
+    def test_corollary_bound_matches_closed_form_shape(self):
+        for n in (512, 2048):
+            for factor in (2.0, 8.0):
+                p_hat = factor * math.log(n) / n
+                exact = edge_upper_bound(n, p_hat)
+                shape = edge_upper_bound_closed_form(n, p_hat) + 1.0
+                assert 0.05 < exact / shape < 30.0

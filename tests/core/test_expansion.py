@@ -1,0 +1,159 @@
+"""Tests for repro.core.expansion — (h, k)-expander machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expansion import (
+    estimate_worst_expansion,
+    expansion_of_set,
+    expansion_profile,
+    is_expander_exact,
+    neighborhood_size,
+    trajectory_expansion,
+    worst_expansion_exact,
+)
+from repro.dynamics.sequence import (
+    complete_adjacency,
+    cycle_adjacency,
+    ring_of_cliques_adjacency,
+    star_adjacency,
+)
+from repro.dynamics.snapshots import AdjacencySnapshot
+
+
+def snap(adj) -> AdjacencySnapshot:
+    return AdjacencySnapshot(adj)
+
+
+def mask(nodes, n):
+    m = np.zeros(n, dtype=bool)
+    m[list(nodes)] = True
+    return m
+
+
+class TestNeighborhood:
+    def test_neighborhood_size_on_cycle(self):
+        s = snap(cycle_adjacency(8))
+        assert neighborhood_size(s, mask([0], 8)) == 2
+        assert neighborhood_size(s, mask([0, 1, 2], 8)) == 2
+
+    def test_expansion_of_set(self):
+        s = snap(complete_adjacency(6))
+        assert expansion_of_set(s, mask([0, 1], 6)) == pytest.approx(2.0)
+
+    def test_expansion_rejects_empty_set(self):
+        s = snap(complete_adjacency(4))
+        with pytest.raises(ValueError):
+            expansion_of_set(s, np.zeros(4, dtype=bool))
+
+
+class TestExactWorstExpansion:
+    def test_complete_graph(self):
+        s = snap(complete_adjacency(8))
+        for size in (1, 2, 4):
+            worst, witness = worst_expansion_exact(s, size)
+            assert worst == 8 - size
+            assert witness.sum() == size
+
+    def test_cycle_contiguous_arcs_are_worst(self):
+        s = snap(cycle_adjacency(10))
+        for size in (1, 2, 3, 5):
+            worst, _ = worst_expansion_exact(s, size)
+            assert worst == 2  # an arc has exactly two boundary nodes
+
+    def test_star_worst_set_avoids_center(self):
+        s = snap(star_adjacency(7))
+        worst, witness = worst_expansion_exact(s, 3)
+        # Three leaves see only the center.
+        assert worst == 1
+        assert not witness[0]
+
+    def test_budget_guard(self):
+        s = snap(complete_adjacency(60))
+        with pytest.raises(ValueError, match="budget"):
+            worst_expansion_exact(s, 30)
+
+
+class TestIsExpanderExact:
+    def test_complete_graph_is_good_expander(self):
+        # For |I| <= n/2 in K_n: |N(I)| = n - |I| >= |I|.
+        assert is_expander_exact(snap(complete_adjacency(10)), 5, 1.0)
+
+    def test_cycle_is_poor_expander(self):
+        assert not is_expander_exact(snap(cycle_adjacency(12)), 6, 1.0)
+
+    def test_cycle_weak_parameters_hold(self):
+        # |N(I)| >= 2 >= (2/h) * |I| for |I| <= h... at |I| = i, k = 2/i.
+        assert is_expander_exact(snap(cycle_adjacency(12)), 4, 0.5)
+
+    def test_definition_monotone_in_k(self):
+        s = snap(ring_of_cliques_adjacency(3, 3))
+        assert is_expander_exact(s, 3, 0.1)
+        # larger k is a strictly stronger property
+        if is_expander_exact(s, 3, 1.0):
+            assert is_expander_exact(s, 3, 0.1)
+
+
+class TestEstimator:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 500), size=st.integers(1, 5))
+    def test_estimate_never_below_exact(self, seed, size):
+        """The randomized search reports an achievable value, so it is
+        always >= the exact minimum."""
+        rng = np.random.default_rng(seed)
+        n = 10
+        iu = np.triu_indices(n, 1)
+        adj = np.zeros((n, n), dtype=bool)
+        adj[iu] = rng.random(len(iu[0])) < 0.4
+        adj |= adj.T
+        s = snap(adj)
+        exact, _ = worst_expansion_exact(s, size)
+        est = estimate_worst_expansion(s, size, trials=8, seed=seed)
+        assert est.neighborhood_size >= exact - 1e-12
+
+    def test_estimator_finds_cycle_arc(self):
+        # On a cycle, the BFS-ball candidates are exactly the optimal arcs.
+        s = snap(cycle_adjacency(20))
+        est = estimate_worst_expansion(s, 5, trials=6, seed=0)
+        assert est.neighborhood_size == 2
+
+    def test_witness_consistency(self):
+        s = snap(cycle_adjacency(16))
+        est = estimate_worst_expansion(s, 4, trials=4, seed=1)
+        assert est.witness.sum() == est.size
+        assert neighborhood_size(s, est.witness) == est.neighborhood_size
+
+    def test_certifies_not_expander(self):
+        s = snap(cycle_adjacency(16))
+        est = estimate_worst_expansion(s, 4, trials=4, seed=1)
+        # |N| = 2 < 1.0 * 4, so the witness refutes (4, 1)-expansion.
+        assert est.certifies_not_expander(4, 1.0)
+        assert not est.certifies_not_expander(4, 0.4)
+        assert not est.certifies_not_expander(3, 1.0)  # size exceeds h
+
+    def test_profile_sizes(self):
+        s = snap(complete_adjacency(12))
+        profile = expansion_profile(s, [1, 2, 4], trials=3, seed=2)
+        assert [e.size for e in profile] == [1, 2, 4]
+
+    def test_full_set_has_zero_expansion(self):
+        s = snap(complete_adjacency(6))
+        est = estimate_worst_expansion(s, 6, trials=2, seed=0)
+        assert est.neighborhood_size == 0
+
+
+class TestTrajectoryExpansion:
+    def test_matches_history(self):
+        ratios = trajectory_expansion(np.array([1, 3, 6, 6]))
+        np.testing.assert_allclose(ratios, [2.0, 1.0, 0.0])
+
+    def test_short_history(self):
+        assert trajectory_expansion(np.array([1])).size == 0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            trajectory_expansion(np.ones((2, 2)))

@@ -1,0 +1,116 @@
+"""Property-based tests of flooding invariants (hypothesis).
+
+These encode the structural facts the paper's proofs rest on:
+
+* **Lemma 2.4 step inequality** — whenever ``m_t <= n/2`` and the
+  snapshot is an ``(m_t, k)``-expander, ``m_{t+1} >= (1 + k) m_t``.
+* **Edge monotonicity** — adding edges to every snapshot never slows
+  flooding.
+* **Source monotonicity** — more sources never slow flooding (on the
+  same realisation).
+* **Completion bound** — on connected static graphs flooding finishes
+  within ``n - 1`` steps and the informed count grows strictly until
+  completion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expansion import worst_expansion_exact
+from repro.core.flooding import flood
+from repro.dynamics.sequence import StaticEvolvingGraph, sequence_from_adjacencies
+from repro.dynamics.snapshots import AdjacencySnapshot
+from repro.edgemeg.er import is_connected
+
+
+def random_adjacency(n: int, p: float, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    iu = np.triu_indices(n, 1)
+    adj = np.zeros((n, n), dtype=bool)
+    adj[iu] = rng.random(len(iu[0])) < p
+    return adj | adj.T
+
+
+def connected_random_adjacency(n: int, p: float, seed: int) -> np.ndarray:
+    """Random graph plus a Hamiltonian path to force connectivity."""
+    adj = random_adjacency(n, p, seed)
+    idx = np.arange(n - 1)
+    adj[idx, idx + 1] = True
+    adj[idx + 1, idx] = True
+    return adj
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(4, 12), p=st.floats(0.0, 0.6), seed=st.integers(0, 500))
+def test_lemma_24_step_inequality(n, p, seed):
+    """m_{t+1} >= (1 + k(m_t)) m_t for m_t <= n/2, with k the exact
+    worst expansion ratio at size m_t — the engine realises the lemma."""
+    adj = connected_random_adjacency(n, p, seed)
+    graph = StaticEvolvingGraph(AdjacencySnapshot(adj))
+    res = flood(graph, 0)
+    snap = graph.snapshot()
+    m = res.informed_history
+    for t in range(len(m) - 1):
+        size = int(m[t])
+        if size > n // 2:
+            break
+        worst, _ = worst_expansion_exact(snap, size)
+        k = worst / size
+        assert m[t + 1] >= (1 + k) * m[t] - 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(4, 14), p=st.floats(0.1, 0.5), seed=st.integers(0, 500))
+def test_edge_monotonicity(n, p, seed):
+    """Adding edges (superset snapshots) never increases flooding time."""
+    base = connected_random_adjacency(n, p, seed)
+    extra = random_adjacency(n, 0.3, seed + 1)
+    richer = base | extra
+    t_base = flood(StaticEvolvingGraph(AdjacencySnapshot(base)), 0).time
+    t_rich = flood(StaticEvolvingGraph(AdjacencySnapshot(richer)), 0).time
+    assert t_rich <= t_base
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(5, 14), p=st.floats(0.1, 0.5), seed=st.integers(0, 500),
+       extra_source=st.integers(1, 4))
+def test_source_monotonicity(n, p, seed, extra_source):
+    """Flooding from {0, s} is never slower than from {0} alone."""
+    adj = connected_random_adjacency(n, p, seed)
+    graph = StaticEvolvingGraph(AdjacencySnapshot(adj))
+    t_single = flood(graph, 0).time
+    s = extra_source % n
+    sources = [0, s] if s != 0 else [0]
+    t_multi = flood(graph, sources).time
+    assert t_multi <= t_single
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(3, 16), p=st.floats(0.0, 0.5), seed=st.integers(0, 500))
+def test_connected_static_completion(n, p, seed):
+    """On connected static graphs: completes within n-1 steps, history
+    strictly increasing until completion."""
+    adj = connected_random_adjacency(n, p, seed)
+    assert is_connected(adj)
+    res = flood(StaticEvolvingGraph(AdjacencySnapshot(adj)), 0)
+    assert res.completed
+    assert res.time <= n - 1
+    diffs = np.diff(res.informed_history)
+    assert (diffs >= 1).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(4, 10), seed=st.integers(0, 300))
+def test_evolving_union_dominates_each_phase(n, seed):
+    """Flooding on the per-step union graph is never slower than on the
+    alternating sequence (a coupling/monotonicity sanity law)."""
+    a = connected_random_adjacency(n, 0.2, seed)
+    b = connected_random_adjacency(n, 0.2, seed + 7)
+    seq = sequence_from_adjacencies([a, b])
+    union = StaticEvolvingGraph(AdjacencySnapshot(a | b))
+    t_seq = flood(seq, 0, max_steps=8 * n).time
+    t_union = flood(union, 0).time
+    assert t_union <= t_seq

@@ -1,0 +1,85 @@
+"""Tests for repro.core.journeys — temporal distances vs flooding."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.flooding import flood, flooding_time, max_flooding_time_over_sources
+from repro.core.journeys import (
+    foremost_arrival_times,
+    temporal_diameter,
+    temporal_eccentricity,
+)
+from repro.dynamics.adversarial import moving_hub_star
+from repro.dynamics.sequence import (
+    StaticEvolvingGraph,
+    cycle_adjacency,
+    star_adjacency,
+)
+from repro.dynamics.snapshots import AdjacencySnapshot
+from repro.edgemeg.meg import EdgeMEG
+
+
+def static(adj) -> StaticEvolvingGraph:
+    return StaticEvolvingGraph(AdjacencySnapshot(adj))
+
+
+class TestArrivalTimes:
+    def test_static_cycle_arrivals_are_graph_distances(self):
+        times = foremost_arrival_times(static(cycle_adjacency(8)), 0)
+        expected = [0, 1, 2, 3, 4, 3, 2, 1]
+        np.testing.assert_array_equal(times.arrival, expected)
+
+    def test_star_arrivals(self):
+        times = foremost_arrival_times(static(star_adjacency(5)), 1)
+        assert times.arrival[1] == 0
+        assert times.arrival[0] == 1
+        assert (times.arrival[[2, 3, 4]] == 2).all()
+
+    def test_unreached_marked_minus_one(self):
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 1] = adj[1, 0] = True
+        times = foremost_arrival_times(static(adj), 0, max_steps=5)
+        assert not times.reached_all
+        assert (times.arrival[[2, 3]] == -1).all()
+        with pytest.raises(ValueError):
+            _ = times.eccentricity
+
+    def test_reached_by_matches_flood_history(self):
+        """reached_by(t).sum() must equal the flooding engine's m_t."""
+        meg = EdgeMEG(40, 0.2, 0.3)
+        res = flood(meg, 3, seed=11)
+        times = foremost_arrival_times(meg, 3, seed=11)
+        for t, m_t in enumerate(res.informed_history):
+            assert int(times.reached_by(t).sum()) == m_t
+
+
+class TestEccentricityOracle:
+    def test_matches_flooding_time_on_meg(self):
+        """Two independent implementations agree exactly per realisation."""
+        meg = EdgeMEG(50, 0.15, 0.3)
+        for seed in range(5):
+            assert temporal_eccentricity(meg, 0, seed=seed) == \
+                flooding_time(meg, 0, seed=seed)
+
+    def test_matches_on_adversary(self):
+        adv = moving_hub_star(12)
+        assert temporal_eccentricity(adv, 0) == 11
+
+    def test_static_eccentricity(self):
+        assert temporal_eccentricity(static(cycle_adjacency(10)), 0) == 5
+
+
+class TestTemporalDiameter:
+    def test_static_cycle_diameter(self):
+        assert temporal_diameter(static(cycle_adjacency(9)), seed=0) == 4
+
+    def test_matches_max_over_sources(self):
+        meg = EdgeMEG(16, 0.3, 0.3)
+        a = temporal_diameter(meg, seed=4, sources=range(4))
+        b = max_flooding_time_over_sources(meg, seed=4, sources=range(4))
+        assert a == b
+
+    def test_adversary_linear_diameter(self):
+        assert temporal_diameter(moving_hub_star(10)) == 9

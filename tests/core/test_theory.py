@@ -1,0 +1,99 @@
+"""Tests for repro.core.theory — regime predicates and gap regimes."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.theory import (
+    edge_density_threshold,
+    gap_regime_polynomial,
+    gap_regime_sqrt,
+    geometric_radius_threshold,
+    in_edge_regime,
+    in_edge_tight_regime,
+    in_geometric_regime,
+    in_geometric_tight_regime,
+)
+
+
+class TestGeometricRegimes:
+    def test_threshold_value(self):
+        assert geometric_radius_threshold(1024, c=2.0) == pytest.approx(
+            2.0 * math.sqrt(math.log(1024)))
+
+    def test_density_scaling(self):
+        base = geometric_radius_threshold(1024, density=1.0)
+        dense = geometric_radius_threshold(1024, density=4.0)
+        assert dense == pytest.approx(base / 2.0)
+
+    def test_in_regime_window(self):
+        n = 4096
+        assert in_geometric_regime(n, 10.0)
+        assert not in_geometric_regime(n, 1.0)  # below threshold
+        assert not in_geometric_regime(n, 100.0)  # above sqrt(n)
+
+    def test_tight_regime_needs_small_r(self):
+        n = 4096
+        radius = 10.0
+        assert in_geometric_tight_regime(n, radius, radius / 2)
+        assert not in_geometric_tight_regime(n, radius, 2 * radius)
+
+    def test_tight_regime_upper_radius_cut(self):
+        n = 4096
+        big_radius = math.sqrt(n) / 1.01  # above sqrt(n)/log log n
+        assert not in_geometric_tight_regime(n, big_radius, 0.0)
+
+
+class TestEdgeRegimes:
+    def test_threshold_value(self):
+        assert edge_density_threshold(1000, c=2.0) == pytest.approx(
+            2.0 * math.log(1000) / 1000)
+
+    def test_in_regime(self):
+        n = 1000
+        assert in_edge_regime(n, 0.1)
+        assert not in_edge_regime(n, 1e-4)
+
+    def test_tight_regime_excludes_dense(self):
+        n = 100_000
+        assert in_edge_tight_regime(n, 3 * math.log(n) / n)
+        assert not in_edge_tight_regime(n, 0.5)  # too dense for Cor 4.5
+
+    def test_tight_subset_of_regime(self):
+        for n in (256, 4096):
+            for p_hat in (0.001, 0.01, 0.1, 0.5):
+                if in_edge_tight_regime(n, p_hat):
+                    assert in_edge_regime(n, p_hat)
+
+
+class TestGapRegimes:
+    def test_polynomial_regime_parameters(self):
+        regime = gap_regime_polynomial(1024, eps=0.5)
+        assert regime.p == pytest.approx(1024 ** -1.5)
+        assert regime.q == pytest.approx(1024 * regime.p / (4 * math.log(1024)))
+        # p_hat = p/(p+q) = 4 log n / (n + 4 log n): above the threshold.
+        assert regime.p_hat == pytest.approx(
+            4 * math.log(1024) / (1024 + 4 * math.log(1024)))
+
+    def test_polynomial_gap_grows_with_n(self):
+        gaps = [gap_regime_polynomial(n, eps=0.5).gap_factor
+                for n in (256, 1024, 4096)]
+        assert gaps[0] < gaps[1] < gaps[2]
+
+    def test_sqrt_regime_parameters(self):
+        regime = gap_regime_sqrt(4096)
+        assert regime.p == pytest.approx(math.log(4096) / 4096)
+        assert regime.q <= 1.0
+
+    def test_orders_are_positive_finite(self):
+        for make in (lambda n: gap_regime_polynomial(n), gap_regime_sqrt):
+            regime = make(2048)
+            assert 0 < regime.stationary_order < float("inf")
+            assert 0 < regime.worstcase_order < float("inf")
+            assert regime.gap_factor >= 1.0
+
+    def test_worstcase_dominates_stationary(self):
+        regime = gap_regime_polynomial(4096, eps=1.0)
+        assert regime.worstcase_order > 10 * regime.stationary_order

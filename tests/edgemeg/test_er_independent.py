@@ -1,0 +1,160 @@
+"""Tests for repro.edgemeg.er and repro.edgemeg.independent."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flooding import flood
+from repro.edgemeg.er import (
+    connected_components,
+    connectivity_threshold,
+    erdos_renyi_adjacency,
+    erdos_renyi_snapshot,
+    is_connected,
+    num_isolated,
+)
+from repro.edgemeg.independent import IndependentDynamicGraph, flood_time_independent
+from repro.edgemeg.meg import EdgeMEG
+
+
+class TestErdosRenyi:
+    def test_shape_and_symmetry(self):
+        adj = erdos_renyi_adjacency(30, 0.3, seed=0)
+        assert adj.shape == (30, 30)
+        assert (adj == adj.T).all()
+        assert not adj.diagonal().any()
+
+    def test_edge_probability(self):
+        adj = erdos_renyi_adjacency(200, 0.2, seed=1)
+        density = adj.sum() / (200 * 199)
+        assert abs(density - 0.2) < 0.02
+
+    def test_p_zero_and_one(self):
+        assert erdos_renyi_adjacency(10, 0.0, seed=0).sum() == 0
+        assert erdos_renyi_adjacency(10, 1.0, seed=0).sum() == 90
+
+    def test_snapshot_wrapper(self):
+        snap = erdos_renyi_snapshot(20, 0.5, seed=2)
+        assert snap.num_nodes == 20
+
+    def test_matches_edge_meg_stationary_law(self):
+        """The edge-MEG stationary snapshot is G(n, p_hat): same density."""
+        n, p, q = 150, 0.06, 0.18  # p_hat = 0.25
+        meg = EdgeMEG(n, p, q)
+        meg.reset(seed=0)
+        er_density = erdos_renyi_adjacency(n, 0.25, seed=0).mean()
+        assert abs(meg.edge_density() - er_density) < 0.03
+
+
+class TestConnectivity:
+    def test_components_of_two_cliques(self):
+        adj = np.zeros((6, 6), dtype=bool)
+        adj[:3, :3] = True
+        adj[3:, 3:] = True
+        np.fill_diagonal(adj, False)
+        labels = connected_components(adj)
+        assert len(set(labels[:3])) == 1
+        assert len(set(labels[3:])) == 1
+        assert labels[0] != labels[3]
+
+    def test_is_connected(self):
+        adj = np.zeros((3, 3), dtype=bool)
+        adj[0, 1] = adj[1, 0] = adj[1, 2] = adj[2, 1] = True
+        assert is_connected(adj)
+        adj[1, 2] = adj[2, 1] = False
+        assert not is_connected(adj)
+
+    def test_num_isolated(self):
+        adj = np.zeros((4, 4), dtype=bool)
+        adj[0, 1] = adj[1, 0] = True
+        assert num_isolated(adj) == 2
+
+    def test_threshold_phase_transition(self):
+        """Connectivity probability jumps across p = log n / n."""
+        n = 200
+        thr = connectivity_threshold(n)
+        below = sum(is_connected(erdos_renyi_adjacency(n, thr / 4, seed=s))
+                    for s in range(10))
+        above = sum(is_connected(erdos_renyi_adjacency(n, 4 * thr, seed=s))
+                    for s in range(10))
+        assert below <= 2 and above >= 8
+
+
+class TestIndependentDynamicGraph:
+    def test_matches_edge_meg_with_q_one_minus_p(self):
+        """q = 1 - p makes the edge-MEG memoryless: snapshot densities of
+        both implementations agree in distribution."""
+        n, p = 120, 0.1
+        ind = IndependentDynamicGraph(n, p)
+        ind.reset(seed=0)
+        ind.step()
+        meg = EdgeMEG(n, p, 1 - p)
+        meg.reset(seed=1)
+        meg.step()
+        assert abs(ind.snapshot().adjacency.mean() - meg.snapshot().adjacency.mean()) \
+            < 0.02
+
+    def test_fresh_graph_each_step(self):
+        ind = IndependentDynamicGraph(40, 0.3)
+        ind.reset(seed=0)
+        a = ind.snapshot().adjacency.copy()
+        ind.step()
+        b = ind.snapshot().adjacency
+        assert (a != b).any()
+
+    def test_requires_reset(self):
+        ind = IndependentDynamicGraph(10, 0.5)
+        with pytest.raises(RuntimeError):
+            ind.step()
+
+    def test_flooding_completes(self):
+        ind = IndependentDynamicGraph(100, 0.1)
+        assert flood(ind, 0, seed=0).completed
+
+
+class TestFastPath:
+    def test_matches_full_simulation_distribution(self):
+        """The O(n) informed-count chain and the full simulator produce
+        the same flooding-time distribution (moment check)."""
+        n, p = 80, 0.05
+        full = [flood(IndependentDynamicGraph(n, p), 0, seed=s).time
+                for s in range(30)]
+        fast = [flood_time_independent(n, p, seed=1000 + s)[0] for s in range(30)]
+        assert abs(np.mean(full) - np.mean(fast)) < 1.0
+        assert abs(np.median(full) - np.median(fast)) <= 1.0
+
+    def test_history_contract(self):
+        t, hist = flood_time_independent(500, 0.01, seed=0)
+        assert hist[0] == 1 and hist[-1] == 500
+        assert len(hist) == t + 1
+        assert (np.diff(hist) >= 0).all()
+
+    def test_scales_to_large_n(self):
+        t, _ = flood_time_independent(200_000, 1e-4, seed=0)
+        assert t < 50
+
+    def test_p_one_completes_in_one_step(self):
+        t, _ = flood_time_independent(50, 1.0, seed=0)
+        assert t == 1
+
+    def test_initial_informed(self):
+        t, hist = flood_time_independent(100, 0.05, seed=0, initial_informed=50)
+        assert hist[0] == 50
+
+    def test_budget_exhaustion_raises(self):
+        with pytest.raises(RuntimeError):
+            flood_time_independent(10_000, 1e-9, seed=0, max_steps=5)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(10, 300), seed=st.integers(0, 100))
+    def test_property_lower_bound_holds(self, n, seed):
+        """T >= log(n/2)/log(2np) whenever the degree bound applies."""
+        p = min(0.3, 8 * math.log(n) / n)
+        t, _ = flood_time_independent(n, p, seed=seed)
+        lb = math.log(n / 2) / math.log(2 * n * p) if 2 * n * p > 1 else 0
+        assert t >= math.floor(lb)

@@ -1,0 +1,159 @@
+"""Tests for repro.edgemeg.sparse — the scalable sparse edge-MEG."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.flooding import flood
+from repro.edgemeg.meg import EdgeMEG
+from repro.edgemeg.sparse import SparseEdgeMEG, decode_pairs, encode_pairs, num_pairs
+
+
+class TestPairCodec:
+    def test_num_pairs(self):
+        assert num_pairs(2) == 1
+        assert num_pairs(10) == 45
+
+    def test_encode_known_values(self):
+        n = 4  # pairs in row-major order: 01,02,03,12,13,23
+        u = np.array([0, 0, 0, 1, 1, 2])
+        v = np.array([1, 2, 3, 2, 3, 3])
+        np.testing.assert_array_equal(encode_pairs(u, v, n), np.arange(6))
+
+    def test_encode_rejects_bad_pairs(self):
+        with pytest.raises(ValueError):
+            encode_pairs(np.array([1]), np.array([1]), 4)
+        with pytest.raises(ValueError):
+            encode_pairs(np.array([0]), np.array([9]), 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(n=st.integers(2, 500), seed=st.integers(0, 1000))
+    def test_property_round_trip(self, n, seed):
+        rng = np.random.default_rng(seed)
+        total = num_pairs(n)
+        codes = rng.integers(0, total, size=min(200, total))
+        u, v = decode_pairs(codes, n)
+        assert bool((u < v).all())
+        assert bool((u >= 0).all() and (v < n).all())
+        np.testing.assert_array_equal(encode_pairs(u, v, n), codes)
+
+    def test_round_trip_large_n(self):
+        """Float-precision edge cases at n ~ 10^5 (codes near 2^33)."""
+        n = 100_000
+        total = num_pairs(n)
+        codes = np.array([0, 1, total - 1, total // 2, total // 3], dtype=np.int64)
+        u, v = decode_pairs(codes, n)
+        np.testing.assert_array_equal(encode_pairs(u, v, n), codes)
+
+    def test_decode_empty(self):
+        u, v = decode_pairs(np.empty(0, dtype=np.int64), 10)
+        assert u.size == 0 and v.size == 0
+
+
+class TestSparseEdgeMEG:
+    def test_requires_reset(self):
+        meg = SparseEdgeMEG(10, 0.1, 0.1)
+        with pytest.raises(RuntimeError):
+            meg.step()
+        with pytest.raises(RuntimeError):
+            meg.snapshot()
+
+    def test_stationary_density(self):
+        meg = SparseEdgeMEG(300, 0.01, 0.03)  # p_hat = 0.25
+        meg.reset(seed=0)
+        assert abs(meg.edge_density() - 0.25) < 0.02
+
+    def test_reset_empty(self):
+        meg = SparseEdgeMEG(50, 0.1, 0.1)
+        meg.reset_empty(seed=0)
+        assert meg.num_alive == 0
+
+    def test_reset_at_edges(self):
+        meg = SparseEdgeMEG(10, 0.1, 0.1)
+        meg.reset_at_edges(np.array([[0, 1], [3, 7]]), seed=0)
+        snap = meg.snapshot()
+        assert snap.edge_count() == 2
+        assert snap.has_edge(0, 1) and snap.has_edge(3, 7)
+
+    def test_reset_at_rejects_duplicates(self):
+        meg = SparseEdgeMEG(10, 0.1, 0.1)
+        with pytest.raises(ValueError):
+            meg.reset_at_edges(np.array([[0, 1], [0, 1]]))
+
+    def test_step_determinism(self):
+        meg = SparseEdgeMEG(60, 0.05, 0.1)
+        meg.reset(seed=7)
+        meg.step()
+        a = meg.snapshot().edge_count()
+        meg.reset(seed=7)
+        meg.step()
+        assert meg.snapshot().edge_count() == a
+
+    def test_stationarity_preserved(self):
+        """Density stays at p_hat across steps (the chain invariant)."""
+        meg = SparseEdgeMEG(400, 0.004, 0.012)  # p_hat = 0.25
+        densities = []
+        for seed in range(4):
+            meg.reset(seed=seed)
+            for _ in range(3):
+                meg.step()
+            densities.append(meg.edge_density())
+        assert abs(float(np.mean(densities)) - 0.25) < 0.02
+
+    def test_deterministic_birth_death(self):
+        meg = SparseEdgeMEG(12, 1.0, 1.0)
+        meg.reset_empty(seed=0)
+        meg.step()
+        assert meg.num_alive == num_pairs(12)
+        meg.step()
+        assert meg.num_alive == 0
+
+    def test_alive_codes_stay_sorted_unique(self):
+        meg = SparseEdgeMEG(40, 0.2, 0.3)
+        meg.reset(seed=1)
+        for _ in range(5):
+            meg.step()
+            codes = meg._alive  # noqa: SLF001
+            assert bool((np.diff(codes) > 0).all())
+
+    def test_flooding_matches_dense_distribution(self):
+        """Sparse and dense engines give the same flooding-time law."""
+        n = 120
+        p_hat = 6 * math.log(n) / n
+        q = 0.5
+        p = p_hat * q / (1 - p_hat)
+        dense_times = [flood(EdgeMEG(n, p, q), 0, seed=s).time for s in range(20)]
+        sparse_times = [flood(SparseEdgeMEG(n, p, q), 0, seed=100 + s).time
+                        for s in range(20)]
+        assert abs(float(np.mean(dense_times)) - float(np.mean(sparse_times))) < 0.8
+
+    def test_autocorrelation_for_slow_chain(self):
+        """Small p+q: most alive edges survive a step (temporal coupling)."""
+        meg = SparseEdgeMEG(200, 0.001, 0.02)
+        meg.reset(seed=2)
+        before = set(meg._alive.tolist())  # noqa: SLF001
+        meg.step()
+        after = set(meg._alive.tolist())  # noqa: SLF001
+        if before:
+            survival = len(before & after) / len(before)
+            assert survival > 0.9
+
+    def test_large_n_flooding(self):
+        """n = 20000 nodes, sparse density: completes fast and small."""
+        n = 20_000
+        p_hat = 3 * math.log(n) / n
+        q = 0.5
+        p = p_hat * q / (1 - p_hat)
+        meg = SparseEdgeMEG(n, p, q)
+        res = flood(meg, 0, seed=0, max_steps=50)
+        assert res.completed
+        assert meg.memory_estimate_bytes() < 100 * 2**20
+
+    def test_expected_alive(self):
+        meg = SparseEdgeMEG(100, 0.1, 0.3)
+        assert meg.expected_alive() == pytest.approx(num_pairs(100) * 0.25)

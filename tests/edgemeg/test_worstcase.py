@@ -1,0 +1,72 @@
+"""Tests for repro.edgemeg.worstcase — the stationary vs worst-case gap."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.theory import gap_regime_polynomial
+from repro.edgemeg.meg import EdgeMEG
+from repro.edgemeg.worstcase import (
+    GapObservation,
+    measure_gap,
+    stationary_flood,
+    worstcase_flood,
+)
+
+
+class TestFloodWrappers:
+    def test_stationary_flood_completes(self):
+        meg = EdgeMEG(60, 0.3, 0.3)
+        res = stationary_flood(meg, 0, seed=0)
+        assert res.completed
+
+    def test_worstcase_flood_starts_empty(self):
+        meg = EdgeMEG(60, 0.3, 0.3)
+        res = worstcase_flood(meg, 0, seed=0)
+        # First step from the empty graph informs nobody.
+        assert res.informed_history[1] == 1
+        assert res.completed  # p is large, so it recovers quickly
+
+    def test_worstcase_validates_source(self):
+        meg = EdgeMEG(10, 0.3, 0.3)
+        with pytest.raises(ValueError):
+            worstcase_flood(meg, 99)
+
+
+class TestGapObservation:
+    def test_gap_computation(self):
+        obs = GapObservation(n=10, p=0.1, q=0.1, stationary_time=2,
+                             stationary_completed=True, worstcase_time=10,
+                             worstcase_completed=True)
+        assert obs.gap == 5.0
+
+    def test_truncated_worstcase_is_infinite_gap(self):
+        obs = GapObservation(n=10, p=0.1, q=0.1, stationary_time=2,
+                             stationary_completed=True, worstcase_time=100,
+                             worstcase_completed=False)
+        assert obs.gap == float("inf")
+
+    def test_zero_stationary_time(self):
+        obs = GapObservation(n=1, p=0.1, q=0.1, stationary_time=0,
+                             stationary_completed=True, worstcase_time=7,
+                             worstcase_completed=True)
+        assert obs.gap == 7.0
+
+
+class TestMeasureGap:
+    def test_gap_regime_shows_gap(self):
+        regime = gap_regime_polynomial(128, eps=0.5)
+        obs = measure_gap(regime.n, regime.p, regime.q, seed=0, max_steps=2000)
+        assert obs.stationary_completed
+        assert obs.gap > 1.5
+
+    def test_no_gap_for_fast_chain(self):
+        # Large p: worst case recovers almost immediately.
+        obs = measure_gap(80, 0.4, 0.4, seed=1)
+        assert obs.worstcase_completed
+        assert obs.gap < 5.0
+
+    def test_deterministic_given_seed(self):
+        a = measure_gap(64, 0.05, 0.2, seed=3)
+        b = measure_gap(64, 0.05, 0.2, seed=3)
+        assert a == b

@@ -1,0 +1,86 @@
+"""Tests for the experiment registry, config, and CLI runner."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.registry import EXPERIMENTS, all_ids, load_experiment, normalize_id
+from repro.experiments.runner import build_parser, main, run_many, run_one
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = ExperimentConfig()
+        assert config.scale == "standard"
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scale="huge")
+
+    def test_pick(self):
+        config = ExperimentConfig(scale="quick")
+        assert config.pick(1, 2, 3) == 1
+        assert ExperimentConfig(scale="full").pick(1, 2, 3) == 3
+
+
+class TestRegistry:
+    def test_fifteen_experiments(self):
+        assert len(EXPERIMENTS) == 15
+        assert list(all_ids()) == [f"E{i}" for i in range(1, 16)]
+
+    @pytest.mark.parametrize("raw,expected", [
+        ("e4", "E4"), ("E04", "E4"), (" e10 ", "E10"), ("E1", "E1"),
+    ])
+    def test_normalize(self, raw, expected):
+        assert normalize_id(raw) == expected
+
+    @pytest.mark.parametrize("bad", ["X1", "E99", "4", ""])
+    def test_normalize_rejects(self, bad):
+        with pytest.raises(ValueError):
+            normalize_id(bad)
+
+    def test_every_module_loads_with_contract(self):
+        for experiment_id in all_ids():
+            module = load_experiment(experiment_id)
+            assert module.EXPERIMENT_ID == experiment_id
+            assert isinstance(module.TITLE, str)
+            assert callable(module.run)
+
+
+class TestRunner:
+    def test_run_one_quick(self):
+        result = run_one("E1", ExperimentConfig(scale="quick"))
+        assert result.experiment_id == "E1"
+        assert result.rows
+        assert result.verdict in ("consistent", "inconsistent", "informational")
+
+    def test_run_many_counts_inconsistent(self):
+        stream = io.StringIO()
+        bad = run_many(["E1"], ExperimentConfig(scale="quick"), stream=stream)
+        assert bad == 0
+        assert "E1" in stream.getvalue()
+
+    def test_output_dir_artifacts(self, tmp_path):
+        config = ExperimentConfig(scale="quick", output_dir=tmp_path)
+        run_one("E1", config)
+        assert (tmp_path / "e1.txt").exists()
+        assert (tmp_path / "e1.csv").exists()
+
+    def test_cli_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "E14" in out
+
+    def test_cli_no_args_errors(self, capsys):
+        assert main([]) == 2
+
+    def test_cli_runs_experiment(self, capsys):
+        assert main(["E1", "--scale", "quick"]) == 0
+        assert "verdict" in capsys.readouterr().out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["E1"])
+        assert args.scale == "standard"

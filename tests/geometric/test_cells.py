@@ -1,0 +1,119 @@
+"""Tests for repro.geometric.cells — the Theorem 3.2 proof partition."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometric.cells import CellPartition, cell_count
+
+
+class TestCellCount:
+    def test_paper_formula(self):
+        # m = ceil(sqrt(5) * side / R).
+        assert cell_count(32.0, 8.0) == math.ceil(math.sqrt(5) * 4)
+
+    def test_cell_side_sandwich(self):
+        """The paper's sandwich R/(sqrt5+1) <= l <= R/sqrt5."""
+        for side, radius in ((32.0, 8.0), (100.0, 5.0), (64.0, 20.0)):
+            part = CellPartition(side, radius)
+            assert radius / (math.sqrt(5) + 1) <= part.cell_side + 1e-9
+            assert part.cell_side <= radius / math.sqrt(5) + 1e-9
+
+    def test_adjacent_cells_within_radius(self):
+        for side, radius in ((32.0, 8.0), (100.0, 5.0), (64.0, 20.0)):
+            assert CellPartition(side, radius).adjacent_within_radius()
+
+
+class TestCellIndices:
+    def test_basic_mapping(self):
+        part = CellPartition(10.0, 5.0, m=5)  # cell side 2
+        ci, cj = part.cell_indices(np.array([[0.1, 3.9], [9.99, 9.99]]))
+        np.testing.assert_array_equal(ci, [0, 4])
+        np.testing.assert_array_equal(cj, [1, 4])
+
+    def test_upper_border_clamped(self):
+        part = CellPartition(10.0, 5.0, m=5)
+        ci, cj = part.cell_indices(np.array([[10.0, 10.0]]))
+        assert ci[0] == 4 and cj[0] == 4
+
+    def test_rejects_bad_shape(self):
+        part = CellPartition(10.0, 5.0)
+        with pytest.raises(ValueError):
+            part.cell_indices(np.zeros((3,)))
+
+
+class TestOccupancy:
+    def test_counts_sum_to_n(self, rng):
+        part = CellPartition(20.0, 6.0)
+        pos = rng.uniform(0, 20, size=(300, 2))
+        stats = part.occupancy(pos)
+        assert stats.counts.sum() == 300
+        assert stats.m == part.m
+
+    def test_realized_lambda_uniformish(self, rng):
+        # Dense uniform points: lambda is a modest constant.  Cell area
+        # is between R^2/10.5 and R^2/5, so even the *expected* occupancy
+        # forces lambda ~ 5-11; fluctuations push it somewhat higher.
+        side = 24.0
+        radius = 8.0
+        n = int(side * side)  # unit density
+        pos = rng.uniform(0, side, size=(n, 2))
+        stats = CellPartition(side, radius).occupancy(pos)
+        assert 1.0 <= stats.realized_lambda < 25.0
+        assert stats.event_b(stats.realized_lambda * 1.001)
+        assert not stats.event_b(max(1.0, stats.realized_lambda * 0.9))
+
+    def test_empty_cell_gives_infinite_lambda(self):
+        part = CellPartition(10.0, 5.0, m=2)
+        pos = np.array([[1.0, 1.0]])  # one point, three empty cells
+        stats = part.occupancy(pos)
+        assert stats.realized_lambda == float("inf")
+        assert not stats.event_b(100.0)
+
+    def test_event_b_rejects_lambda_below_one(self):
+        part = CellPartition(10.0, 5.0, m=2)
+        stats = part.occupancy(np.random.default_rng(0).uniform(0, 10, (100, 2)))
+        with pytest.raises(ValueError):
+            stats.event_b(0.5)
+
+    def test_min_max_counts(self):
+        part = CellPartition(10.0, 5.0, m=2)
+        pos = np.array([[1.0, 1.0], [1.2, 1.1], [9.0, 9.0]])
+        stats = part.occupancy(pos)
+        assert stats.min_count() == 0 and stats.max_count() == 2
+
+
+class TestRowColumnClassification:
+    def test_all_black(self):
+        part = CellPartition(10.0, 5.0, m=2)
+        pos = np.array([[1, 1], [1, 8], [8, 1], [8, 8]], dtype=float)
+        members = np.ones(4, dtype=bool)
+        info = part.classify_rows_columns(pos, members)
+        assert info["black_cells"] == 4
+        assert info["black_rows"] == 2 and info["black_cols"] == 2
+        assert info["gray_rows"] == info["white_rows"] == 0
+
+    def test_one_black_cell_is_gray_row_and_col(self):
+        part = CellPartition(10.0, 5.0, m=2)
+        pos = np.array([[1, 1], [8, 8]], dtype=float)
+        members = np.array([True, False])
+        info = part.classify_rows_columns(pos, members)
+        assert info["black_cells"] == 1
+        assert info["gray_rows"] == 1 and info["white_rows"] == 1
+        assert info["gray_cols"] == 1 and info["white_cols"] == 1
+
+    def test_claim3_gray_bound(self, rng):
+        """If there are no black rows/columns, Yr * Yc >= |B| (Claim 3)."""
+        part = CellPartition(30.0, 6.0)
+        pos = rng.uniform(0, 30, size=(400, 2))
+        members = rng.random(400) < 0.05
+        info = part.classify_rows_columns(pos, members)
+        if info["black_rows"] == 0 and info["black_cols"] == 0:
+            assert info["gray_rows"] * info["gray_cols"] >= info["black_cells"]
+
+    def test_expected_occupancy(self):
+        part = CellPartition(10.0, 5.0, m=5)
+        assert part.expected_occupancy(100) == pytest.approx(4.0)

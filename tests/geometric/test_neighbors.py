@@ -1,0 +1,115 @@
+"""Tests for repro.geometric.neighbors — radius queries vs brute force."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometric.neighbors import (
+    brute_force_within_radius,
+    radius_degrees,
+    radius_edges,
+    within_radius_of_members,
+)
+
+
+class TestWithinRadius:
+    def test_empty_members(self, small_positions):
+        members = np.zeros(len(small_positions), dtype=bool)
+        out = within_radius_of_members(small_positions, members, 3.0)
+        assert not out.any()
+
+    def test_all_members(self, small_positions):
+        members = np.ones(len(small_positions), dtype=bool)
+        out = within_radius_of_members(small_positions, members, 3.0)
+        assert not out.any()
+
+    def test_disjoint_from_members(self, small_positions, rng):
+        members = rng.random(len(small_positions)) < 0.5
+        out = within_radius_of_members(small_positions, members, 3.0)
+        assert not (out & members).any()
+
+    def test_inclusive_boundary(self):
+        pos = np.array([[0.0, 0.0], [3.0, 0.0], [3.0001, 0.0]])
+        members = np.array([True, False, False])
+        out = within_radius_of_members(pos, members, 3.0)
+        assert out[1] and not out[2]
+
+    def test_coincident_points_connect(self):
+        pos = np.array([[1.0, 1.0], [1.0, 1.0]])
+        out = within_radius_of_members(pos, np.array([True, False]), 0.5)
+        assert out[1]
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 1000), radius=st.floats(0.5, 8.0),
+           frac=st.floats(0.05, 0.95))
+    def test_property_matches_brute_force(self, seed, radius, frac):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 15, size=(40, 2))
+        members = rng.random(40) < frac
+        fast = within_radius_of_members(pos, members, radius)
+        slow = brute_force_within_radius(pos, members, radius)
+        np.testing.assert_array_equal(fast, slow)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), radius=st.floats(0.5, 7.0))
+    def test_property_toroidal_matches_brute_force(self, seed, radius):
+        rng = np.random.default_rng(seed)
+        pos = rng.uniform(0, 15, size=(30, 2))
+        members = rng.random(30) < 0.4
+        fast = within_radius_of_members(pos, members, radius, boxsize=15.0)
+        slow = brute_force_within_radius(pos, members, radius, boxsize=15.0)
+        np.testing.assert_array_equal(fast, slow)
+
+    def test_toroidal_wraps_around(self):
+        pos = np.array([[0.5, 5.0], [19.5, 5.0]])
+        members = np.array([True, False])
+        assert not within_radius_of_members(pos, members, 2.0)[1]
+        assert within_radius_of_members(pos, members, 2.0, boxsize=20.0)[1]
+
+    def test_wrong_mask_length(self, small_positions):
+        with pytest.raises(ValueError):
+            within_radius_of_members(small_positions, np.zeros(3, dtype=bool), 1.0)
+
+
+class TestRadiusEdges:
+    def test_simple_chain(self):
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [2.5, 0.0]])
+        edges = radius_edges(pos, 1.6)
+        np.testing.assert_array_equal(edges, [[0, 1], [1, 2]])
+
+    def test_no_edges(self):
+        pos = np.array([[0.0, 0.0], [10.0, 0.0]])
+        assert radius_edges(pos, 1.0).shape == (0, 2)
+
+    def test_canonical_order(self, small_positions):
+        edges = radius_edges(small_positions, 4.0)
+        assert (edges[:, 0] < edges[:, 1]).all()
+
+    def test_edge_count_matches_brute_force(self, small_positions):
+        edges = radius_edges(small_positions, 3.0)
+        count = 0
+        n = len(small_positions)
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = small_positions[i] - small_positions[j]
+                if d @ d <= 9.0 * (1 + 1e-12):
+                    count += 1
+        assert len(edges) == count
+
+
+class TestRadiusDegrees:
+    def test_degrees_match_edges(self, small_positions):
+        edges = radius_edges(small_positions, 3.5)
+        deg = radius_degrees(small_positions, 3.5)
+        expected = np.zeros(len(small_positions), dtype=np.int64)
+        for u, v in edges:
+            expected[u] += 1
+            expected[v] += 1
+        np.testing.assert_array_equal(deg, expected)
+
+    def test_isolated_point(self):
+        pos = np.array([[0.0, 0.0], [100.0, 100.0]])
+        np.testing.assert_array_equal(radius_degrees(pos, 1.0), [0, 0])

@@ -1,0 +1,113 @@
+"""Integration tests: end-to-end checks of the paper's main claims.
+
+These cut across packages (models + flooding + bounds) at sizes big
+enough to show the asymptotics' direction, while staying test-suite
+fast.  The full-scale versions live in the experiment suite; here we
+pin the *direction* of every key comparison so regressions in any layer
+surface as a semantic failure, not just a unit failure.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import (
+    edge_lower_bound,
+    edge_upper_bound_closed_form,
+    geometric_lower_bound,
+)
+from repro.core.flooding import flood, flooding_trials
+from repro.edgemeg.meg import EdgeMEG
+from repro.edgemeg.worstcase import measure_gap
+from repro.geometric.meg import GeometricMEG
+
+
+def mean_flood(meg, trials, seed) -> float:
+    runs = flooding_trials(meg, trials=trials, seed=seed)
+    times = [r.time for r in runs if r.completed]
+    assert times, "no completed runs"
+    return float(np.mean(times))
+
+
+class TestGeometricClaims:
+    def test_flooding_decreases_with_radius(self):
+        """Thm 3.4 direction: larger R floods faster."""
+        n = 1024
+        slow = mean_flood(GeometricMEG(n, 1.0, radius=2 * math.sqrt(math.log(n))),
+                          4, seed=1)
+        fast = mean_flood(GeometricMEG(n, 1.0, radius=math.sqrt(n) / 4), 4, seed=2)
+        assert fast < slow
+
+    def test_flooding_grows_with_n_at_fixed_radius_law(self):
+        """At R = c sqrt(log n), flooding ~ sqrt(n/log n) grows with n."""
+        times = []
+        for n in (256, 4096):
+            radius = 2 * math.sqrt(math.log(n))
+            times.append(mean_flood(GeometricMEG(n, 1.0, radius=radius), 4, seed=n))
+        assert times[1] > times[0]
+
+    def test_flooding_between_paper_bounds(self):
+        """Measured flooding sits between Thm 3.5's floor and a constant
+        multiple of the sqrt(n)/R shape."""
+        n = 1024
+        radius = 8.0
+        meg = GeometricMEG(n, move_radius=1.0, radius=radius)
+        for seed in range(3):
+            res = flood(meg, 0, seed=seed)
+            assert res.completed
+            lb = geometric_lower_bound(n, radius, 1.0)
+            assert res.time >= math.floor(lb)
+            assert res.time <= 10 * (math.sqrt(n) / radius + 3)
+
+    def test_speed_irrelevant_in_tight_window(self):
+        """Cor 3.6: r in {0 .. R} barely moves flooding time."""
+        n = 1024
+        radius = n ** 0.3
+        base = mean_flood(GeometricMEG(n, 0.0, radius=radius), 5, seed=3)
+        fast = mean_flood(GeometricMEG(n, radius, radius=radius), 5, seed=4)
+        assert 0.4 < fast / base < 2.5
+
+
+class TestEdgeClaims:
+    def test_flooding_decreases_with_density(self):
+        """Thm 4.3 direction: larger p_hat floods faster (or equal)."""
+        n = 512
+        sparse = EdgeMEG(n, *_pq(4 * math.log(n) / n, 0.5))
+        dense = EdgeMEG(n, *_pq(0.2, 0.5))
+        assert mean_flood(dense, 5, seed=5) <= mean_flood(sparse, 5, seed=6)
+
+    def test_measured_between_bounds(self):
+        n = 512
+        p_hat = 8 * math.log(n) / n
+        meg = EdgeMEG(n, *_pq(p_hat, 0.5))
+        lb = edge_lower_bound(n, p_hat)
+        ub_shape = edge_upper_bound_closed_form(n, p_hat)
+        for seed in range(4):
+            res = flood(meg, 0, seed=seed)
+            assert res.completed
+            assert res.time >= math.floor(lb)
+            assert res.time <= 6 * ub_shape + 3
+
+    def test_p_hat_invariance(self):
+        """Stationary flooding depends on (p, q) only through p_hat."""
+        n = 384
+        p_hat = 6 * math.log(n) / n
+        slow_mix = mean_flood(EdgeMEG(n, *_pq(p_hat, 0.05)), 6, seed=7)
+        fast_mix = mean_flood(EdgeMEG(n, *_pq(p_hat, 0.9)), 6, seed=8)
+        assert abs(slow_mix - fast_mix) <= 1.5
+
+    def test_exponential_gap_direction(self):
+        """Section 1 gap: worst-case start is much slower in the gap regime."""
+        n = 256
+        p = n ** -1.5
+        q = n * p / (4 * math.log(n))  # p_hat ~ 4 log n / n
+        obs = measure_gap(n, p, q, seed=9, max_steps=4000)
+        assert obs.stationary_completed
+        assert obs.gap > 2.0
+
+
+def _pq(p_hat: float, q: float) -> tuple[float, float]:
+    return p_hat * q / (1.0 - p_hat), q

@@ -1,0 +1,126 @@
+"""Cross-validation of the stationarity claims via exact Markov-chain theory.
+
+The paper's "perfect simulation" premise rests on two closed-form
+stationary distributions:
+
+* **Geometric walkers** (Section 3): the single-walker chain moves
+  uniformly over ``Gamma(x)``; its unique stationary distribution is
+  ``pi(x) = |Gamma(x)| / sum_y |Gamma(y)|``.  We build the *exact*
+  transition matrix of a small lattice and check, with
+  :mod:`repro.markov.chain`'s linear-algebra solver, that it equals the
+  closed form used by the sampler — two fully independent code paths.
+* **Edge-MEG** (Section 4): the stationary snapshot is ``G(n, p_hat)``.
+  We check distributional facts beyond the mean density: the degree
+  distribution matches a Binomial, and the joint (edge at t, edge at
+  t+1) frequencies match the two-state chain's transition matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.edgemeg.meg import EdgeMEG
+from repro.edgemeg.sparse import SparseEdgeMEG
+from repro.geometric.lattice import Lattice, disc_offsets
+from repro.markov.chain import FiniteMarkovChain, total_variation
+
+
+def exact_walker_chain(lattice: Lattice) -> FiniteMarkovChain:
+    """The single-walker transition matrix, built by direct enumeration."""
+    g = lattice.grid_size
+    size = g * g
+    di, dj = disc_offsets(lattice.move_radius / lattice.eps)
+    matrix = np.zeros((size, size))
+    for i in range(g):
+        for j in range(g):
+            ci, cj = i + di, j + dj
+            ok = (ci >= 0) & (ci < g) & (cj >= 0) & (cj < g)
+            targets = ci[ok] * g + cj[ok]
+            matrix[i * g + j, targets] = 1.0 / targets.size
+    return FiniteMarkovChain(matrix)
+
+
+class TestWalkerStationarity:
+    @pytest.mark.parametrize("side,eps,r", [
+        (5.0, 1.0, 1.0),
+        (5.0, 1.0, 2.2),
+        (4.0, 0.5, 1.2),
+    ])
+    def test_closed_form_matches_linear_solve(self, side, eps, r):
+        """pi(x) = |Gamma(x)|/sum|Gamma| solves pi P = pi exactly."""
+        lattice = Lattice(side=side, eps=eps, move_radius=r)
+        chain = exact_walker_chain(lattice)
+        solved = chain.stationary()
+        closed = lattice.stationary_position_distribution()
+        assert total_variation(solved, closed) < 1e-8
+
+    def test_chain_is_reversible_wrt_closed_form(self):
+        """Detailed balance: pi(x) P(x,y) = pi(y) P(y,x) (the move graph
+        is undirected, so the walk is a degree-reversible chain)."""
+        lattice = Lattice(side=4.0, eps=1.0, move_radius=1.5)
+        chain = exact_walker_chain(lattice)
+        pi = lattice.stationary_position_distribution()
+        flux = pi[:, None] * chain.transition
+        np.testing.assert_allclose(flux, flux.T, atol=1e-12)
+
+    def test_mixing_is_finite(self):
+        """The single-walker chain is irreducible and aperiodic for r >= 1:
+        it mixes in finitely many steps."""
+        lattice = Lattice(side=4.0, eps=1.0, move_radius=1.0)
+        chain = exact_walker_chain(lattice)
+        assert chain.mixing_time(0.25) < 200
+
+
+class TestEdgeMEGStationarity:
+    def test_degree_distribution_binomial(self):
+        """Stationary snapshot degrees ~ Binomial(n-1, p_hat)."""
+        n, p, q = 400, 0.1, 0.3  # p_hat = 0.25
+        meg = EdgeMEG(n, p, q)
+        meg.reset(seed=0)
+        deg = meg.snapshot().degrees()
+        expected_mean = (n - 1) * 0.25
+        expected_var = (n - 1) * 0.25 * 0.75
+        assert abs(deg.mean() - expected_mean) < 3 * np.sqrt(expected_var / n)
+        assert 0.6 * expected_var < deg.var() < 1.5 * expected_var
+
+    def test_joint_transition_frequencies(self):
+        """Paired (state_t, state_{t+1}) frequencies match pi_i * M[i, j]."""
+        n, p, q = 200, 0.15, 0.35  # p_hat = 0.3
+        meg = EdgeMEG(n, p, q)
+        meg.reset(seed=1)
+        before = meg.edge_states
+        meg.step()
+        after = meg.edge_states
+        total = before.size
+        joint = np.array([
+            [(~before & ~after).sum(), (~before & after).sum()],
+            [(before & ~after).sum(), (before & after).sum()],
+        ]) / total
+        pi = np.array([0.7, 0.3])
+        expected = pi[:, None] * meg.chain.transition
+        np.testing.assert_allclose(joint, expected, atol=0.01)
+
+    def test_sparse_engine_same_stationary_law(self):
+        """Sparse and dense stationary draws match in density and degree
+        dispersion."""
+        n, p, q = 300, 0.02, 0.06  # p_hat = 0.25
+        dense = EdgeMEG(n, p, q)
+        dense.reset(seed=2)
+        sparse = SparseEdgeMEG(n, p, q)
+        sparse.reset(seed=3)
+        d_deg = dense.snapshot().degrees()
+        s_deg = sparse.snapshot().degrees()
+        assert abs(d_deg.mean() - s_deg.mean()) < 3.0
+        assert abs(d_deg.std() - s_deg.std()) < 3.0
+
+    def test_multi_step_density_stationary(self):
+        """Density invariance over many steps and several chains."""
+        for p, q in ((0.5, 0.5), (0.05, 0.15), (0.9, 0.1)):
+            meg = EdgeMEG(150, p, q)
+            meg.reset(seed=4)
+            densities = []
+            for _ in range(8):
+                meg.step()
+                densities.append(meg.edge_density())
+            assert abs(np.mean(densities) - meg.p_hat) < 0.03

@@ -1,0 +1,153 @@
+"""Tests for repro.markov.chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.chain import (
+    FiniteMarkovChain,
+    chain_from_kernel,
+    empirical_distribution,
+    is_stochastic_matrix,
+    stationary_distribution,
+    total_variation,
+)
+
+
+def random_stochastic(k: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    m = rng.random((k, k)) + 0.05
+    return m / m.sum(axis=1, keepdims=True)
+
+
+class TestIsStochastic:
+    def test_valid(self):
+        assert is_stochastic_matrix(np.array([[0.3, 0.7], [1.0, 0.0]]))
+
+    def test_rejects_negative(self):
+        assert not is_stochastic_matrix(np.array([[1.5, -0.5], [0.5, 0.5]]))
+
+    def test_rejects_bad_row_sum(self):
+        assert not is_stochastic_matrix(np.array([[0.5, 0.6], [0.5, 0.5]]))
+
+    def test_rejects_non_square(self):
+        assert not is_stochastic_matrix(np.ones((2, 3)) / 3)
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        p = np.array([0.2, 0.8])
+        assert total_variation(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            total_variation(np.ones(2) / 2, np.ones(3) / 3)
+
+
+class TestStationaryDistribution:
+    def test_two_state_closed_form(self):
+        p, q = 0.3, 0.1
+        matrix = np.array([[1 - p, p], [q, 1 - q]])
+        pi = stationary_distribution(matrix)
+        np.testing.assert_allclose(pi, [q / (p + q), p / (p + q)], atol=1e-10)
+
+    def test_doubly_stochastic_is_uniform(self):
+        matrix = np.array([[0.5, 0.25, 0.25], [0.25, 0.5, 0.25], [0.25, 0.25, 0.5]])
+        np.testing.assert_allclose(stationary_distribution(matrix), np.ones(3) / 3,
+                                   atol=1e-10)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fixed_point_random_chain(self, seed):
+        matrix = random_stochastic(5, seed)
+        pi = stationary_distribution(matrix)
+        np.testing.assert_allclose(pi @ matrix, pi, atol=1e-8)
+        assert pytest.approx(1.0) == pi.sum()
+
+    def test_rejects_non_stochastic(self):
+        with pytest.raises(ValueError):
+            stationary_distribution(np.array([[0.5, 0.6], [0.5, 0.5]]))
+
+
+class TestFiniteMarkovChain:
+    def test_rejects_bad_matrix(self):
+        with pytest.raises(ValueError):
+            FiniteMarkovChain(np.array([[0.9, 0.2], [0.5, 0.5]]))
+
+    def test_num_states(self):
+        chain = FiniteMarkovChain(random_stochastic(4, 0))
+        assert chain.num_states == 4
+
+    def test_step_distribution_matches_matrix_power(self):
+        chain = FiniteMarkovChain(random_stochastic(4, 1))
+        d0 = np.array([1.0, 0.0, 0.0, 0.0])
+        out = chain.step_distribution(d0, steps=3)
+        np.testing.assert_allclose(out, d0 @ np.linalg.matrix_power(chain.transition, 3))
+
+    def test_sample_path_length_and_range(self):
+        chain = FiniteMarkovChain(random_stochastic(3, 2))
+        path = chain.sample_path(50, start=0, seed=0)
+        assert path.shape == (50,)
+        assert path[0] == 0
+        assert ((path >= 0) & (path < 3)).all()
+
+    def test_sample_path_deterministic_given_seed(self):
+        chain = FiniteMarkovChain(random_stochastic(3, 2))
+        np.testing.assert_array_equal(chain.sample_path(20, seed=9),
+                                      chain.sample_path(20, seed=9))
+
+    def test_sample_path_stationary_start_frequency(self):
+        chain = FiniteMarkovChain(np.array([[0.1, 0.9], [0.9, 0.1]]))
+        starts = [chain.sample_path(1, seed=s)[0] for s in range(200)]
+        # Stationary is (0.5, 0.5); crude frequency check.
+        assert 0.3 < np.mean(starts) < 0.7
+
+    def test_absorbing_path_stays(self):
+        chain = FiniteMarkovChain(np.array([[1.0, 0.0], [0.5, 0.5]]))
+        path = chain.sample_path(30, start=0, seed=1)
+        assert (path == 0).all()
+
+    def test_mixing_time_fast_chain(self):
+        chain = FiniteMarkovChain(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        assert chain.mixing_time(0.25) == 1
+
+    def test_mixing_time_slow_chain_larger(self):
+        fast = FiniteMarkovChain(np.array([[0.5, 0.5], [0.5, 0.5]]))
+        slow = FiniteMarkovChain(np.array([[0.99, 0.01], [0.01, 0.99]]))
+        assert slow.mixing_time(0.1) > fast.mixing_time(0.1)
+
+    def test_relaxation_time_periodic_is_inf(self):
+        chain = FiniteMarkovChain(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        assert chain.relaxation_time() == float("inf")
+
+    def test_relaxation_time_two_state(self):
+        p, q = 0.3, 0.2
+        chain = FiniteMarkovChain(np.array([[1 - p, p], [q, 1 - q]]))
+        assert chain.relaxation_time() == pytest.approx(1.0 / (p + q))
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000), k=st.integers(2, 6))
+    def test_property_stationary_is_fixed_point(self, seed, k):
+        matrix = random_stochastic(k, seed)
+        chain = FiniteMarkovChain(matrix)
+        pi = chain.stationary()
+        np.testing.assert_allclose(pi @ matrix, pi, atol=1e-7)
+
+
+class TestHelpers:
+    def test_empirical_distribution(self):
+        d = empirical_distribution([0, 0, 1, 2], 3)
+        np.testing.assert_allclose(d, [0.5, 0.25, 0.25])
+
+    def test_empirical_rejects_empty(self):
+        with pytest.raises(ValueError):
+            empirical_distribution([], 3)
+
+    def test_chain_from_kernel(self):
+        chain = chain_from_kernel(2, lambda i: [0.5, 0.5])
+        assert chain.num_states == 2

@@ -1,0 +1,70 @@
+"""Tests for repro.markov.spectral."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics.sequence import complete_adjacency, cycle_adjacency
+from repro.markov.spectral import (
+    algebraic_connectivity,
+    lazy_walk_matrix,
+    second_eigenvalue_modulus,
+    spectral_gap,
+)
+
+
+class TestSecondEigenvalue:
+    def test_two_state(self):
+        m = np.array([[0.7, 0.3], [0.2, 0.8]])
+        assert second_eigenvalue_modulus(m) == pytest.approx(0.5)
+
+    def test_identity_has_unit_second(self):
+        assert second_eigenvalue_modulus(np.eye(3)) == pytest.approx(1.0)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            second_eigenvalue_modulus(np.ones((2, 3)))
+
+
+class TestSpectralGap:
+    def test_uniform_chain_gap_one(self):
+        m = np.ones((4, 4)) / 4
+        assert spectral_gap(m) == pytest.approx(1.0)
+
+    def test_identity_gap_zero(self):
+        assert spectral_gap(np.eye(3)) == pytest.approx(0.0)
+
+
+class TestLazyWalk:
+    def test_rows_sum_to_one(self):
+        walk = lazy_walk_matrix(cycle_adjacency(6).astype(float))
+        np.testing.assert_allclose(walk.sum(axis=1), np.ones(6))
+
+    def test_isolated_node_absorbing(self):
+        adj = np.zeros((3, 3))
+        adj[0, 1] = adj[1, 0] = 1.0
+        walk = lazy_walk_matrix(adj)
+        assert walk[2, 2] == pytest.approx(1.0)
+
+    def test_laziness_bounds(self):
+        with pytest.raises(ValueError):
+            lazy_walk_matrix(np.zeros((2, 2)), laziness=1.0)
+
+
+class TestAlgebraicConnectivity:
+    def test_complete_graph(self):
+        # lambda_2(K_n) = n.
+        assert algebraic_connectivity(complete_adjacency(5).astype(float)) == \
+            pytest.approx(5.0)
+
+    def test_disconnected_graph_zero(self):
+        adj = np.zeros((4, 4))
+        adj[0, 1] = adj[1, 0] = 1.0
+        adj[2, 3] = adj[3, 2] = 1.0
+        assert algebraic_connectivity(adj) == pytest.approx(0.0, abs=1e-9)
+
+    def test_better_expander_has_larger_connectivity(self):
+        cyc = algebraic_connectivity(cycle_adjacency(8).astype(float))
+        comp = algebraic_connectivity(complete_adjacency(8).astype(float))
+        assert comp > cyc

@@ -1,0 +1,117 @@
+"""Tests for repro.markov.two_state — the edge birth/death chain."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.two_state import TwoStateChain, stationary_edge_probability
+
+probs = st.floats(0.01, 0.99)
+
+
+class TestStationaryEdgeProbability:
+    def test_closed_form(self):
+        assert stationary_edge_probability(0.2, 0.1) == pytest.approx(2 / 3)
+
+    def test_symmetric_is_half(self):
+        assert stationary_edge_probability(0.3, 0.3) == pytest.approx(0.5)
+
+    def test_frozen_chain_rejected(self):
+        with pytest.raises(ValueError):
+            stationary_edge_probability(0.0, 0.0)
+
+    def test_p_zero_gives_zero(self):
+        assert stationary_edge_probability(0.0, 0.5) == 0.0
+
+    def test_q_zero_gives_one(self):
+        assert stationary_edge_probability(0.5, 0.0) == 1.0
+
+
+class TestTwoStateChain:
+    def test_transition_matrix(self):
+        chain = TwoStateChain(0.2, 0.1)
+        np.testing.assert_allclose(chain.transition, [[0.8, 0.2], [0.1, 0.9]])
+
+    def test_invalid_probabilities_rejected(self):
+        with pytest.raises(ValueError):
+            TwoStateChain(1.5, 0.1)
+        with pytest.raises(ValueError):
+            TwoStateChain(0.0, 0.0)
+
+    def test_second_eigenvalue(self):
+        assert TwoStateChain(0.2, 0.3).second_eigenvalue == pytest.approx(0.5)
+
+    def test_relaxation_time(self):
+        assert TwoStateChain(0.2, 0.3).relaxation_time() == pytest.approx(2.0)
+
+    def test_relaxation_time_periodic(self):
+        assert TwoStateChain(1.0, 1.0).relaxation_time() == float("inf")
+
+    @settings(max_examples=30, deadline=None)
+    @given(p=probs, q=probs, t=st.integers(0, 20))
+    def test_transition_power_matches_matrix_power(self, p, q, t):
+        chain = TwoStateChain(p, q)
+        np.testing.assert_allclose(
+            chain.transition_power(t),
+            np.linalg.matrix_power(chain.transition, t),
+            atol=1e-10,
+        )
+
+    def test_transition_power_zero_is_identity(self):
+        np.testing.assert_array_equal(TwoStateChain(0.3, 0.2).transition_power(0),
+                                      np.eye(2))
+
+    def test_autocovariance_decays(self):
+        chain = TwoStateChain(0.2, 0.1)
+        cov = [chain.autocovariance(t) for t in range(5)]
+        assert all(a >= b for a, b in zip(cov, cov[1:]))
+        assert cov[0] == pytest.approx(chain.p_hat * (1 - chain.p_hat))
+
+    def test_sample_stationary_frequency(self):
+        chain = TwoStateChain(0.3, 0.1)  # p_hat = 0.75
+        states = chain.sample_stationary(20_000, seed=0)
+        assert abs(states.mean() - 0.75) < 0.02
+
+    def test_step_states_shape_and_dtype(self):
+        chain = TwoStateChain(0.3, 0.1)
+        states = chain.sample_stationary(100, seed=1)
+        out = chain.step_states(states, seed=2)
+        assert out.shape == states.shape and out.dtype == bool
+
+    def test_step_states_out_parameter(self):
+        chain = TwoStateChain(0.3, 0.1)
+        states = chain.sample_stationary(50, seed=1)
+        buffer = np.empty_like(states)
+        result = chain.step_states(states, seed=2, out=buffer)
+        assert result is buffer
+
+    def test_step_preserves_stationarity(self):
+        """One step applied to a stationary sample stays stationary."""
+        chain = TwoStateChain(0.4, 0.2)  # p_hat = 2/3
+        states = chain.sample_stationary(40_000, seed=3)
+        stepped = chain.step_states(states, seed=4)
+        assert abs(stepped.mean() - chain.p_hat) < 0.02
+
+    def test_step_deterministic_edge_cases(self):
+        always_die = TwoStateChain(0.0, 1.0)
+        states = np.ones(10, dtype=bool)
+        assert not always_die.step_states(states, seed=0).any()
+        always_born = TwoStateChain(1.0, 0.0)
+        states = np.zeros(10, dtype=bool)
+        assert always_born.step_states(states, seed=0).all()
+
+    def test_expected_lifetime_and_absence(self):
+        chain = TwoStateChain(0.25, 0.5)
+        assert chain.expected_lifetime() == pytest.approx(2.0)
+        assert chain.expected_absence() == pytest.approx(4.0)
+
+    def test_expected_lifetime_infinite_when_q_zero(self):
+        assert TwoStateChain(0.5, 0.0).expected_lifetime() == float("inf")
+
+    def test_as_finite_chain_stationary_agrees(self):
+        chain = TwoStateChain(0.3, 0.2)
+        pi = chain.as_finite_chain().stationary()
+        assert pi[1] == pytest.approx(chain.p_hat, abs=1e-10)

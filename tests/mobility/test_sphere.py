@@ -1,0 +1,119 @@
+"""Tests for repro.mobility.sphere — random waypoint on the sphere."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.flooding import flood
+from repro.mobility.sphere import (
+    SphereSnapshot,
+    SphereWaypointMEG,
+    sphere_radius_for_density,
+)
+
+
+class TestSphereGeometry:
+    def test_radius_for_unit_density(self):
+        # Area 4 pi rho^2 = n.
+        rho = sphere_radius_for_density(400)
+        assert 4 * math.pi * rho**2 == pytest.approx(400.0)
+
+    def test_density_scaling(self):
+        assert sphere_radius_for_density(400, density=4.0) == pytest.approx(
+            sphere_radius_for_density(400) / 2.0)
+
+
+class TestSphereSnapshot:
+    def test_chord_adjacency(self):
+        # Two points at 90 degrees on the unit sphere: chord sqrt(2).
+        pts = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [-1.0, 0.0, 0.0]])
+        snap = SphereSnapshot(pts, sphere_radius=1.0, radius=1.5)
+        assert snap.has_edge(0, 1)          # chord sqrt(2) ~ 1.414 <= 1.5
+        assert not snap.has_edge(0, 2)      # chord 2 > 1.5
+        np.testing.assert_array_equal(snap.neighbors_of(1), [0, 2])
+
+    def test_neighborhood_mask_contract(self):
+        rng = np.random.default_rng(0)
+        pts = rng.normal(size=(50, 3))
+        pts /= np.linalg.norm(pts, axis=1, keepdims=True)
+        snap = SphereSnapshot(pts, sphere_radius=3.0, radius=2.0)
+        members = rng.random(50) < 0.3
+        out = snap.neighborhood_mask(members)
+        assert not (out & members).any()
+        # Against brute force.
+        coords = snap.positions
+        for v in np.flatnonzero(~members):
+            d = np.linalg.norm(coords[members] - coords[v], axis=1)
+            assert out[v] == bool((d <= 2.0 * (1 + 1e-12)).any())
+
+    def test_degrees_edge_count_consistent(self):
+        rng = np.random.default_rng(1)
+        pts = rng.normal(size=(40, 3))
+        pts /= np.linalg.norm(pts, axis=1, keepdims=True)
+        snap = SphereSnapshot(pts, sphere_radius=2.0, radius=1.0)
+        assert snap.degrees().sum() == 2 * snap.edge_count()
+
+    def test_radius_guard(self):
+        with pytest.raises(ValueError):
+            SphereSnapshot(np.array([[1.0, 0, 0]]), sphere_radius=1.0, radius=3.0)
+
+
+class TestSphereWaypointMEG:
+    def make(self, n=400) -> SphereWaypointMEG:
+        radius = 2.0 * math.sqrt(math.log(n))
+        return SphereWaypointMEG(n, radius=radius, speed=1.0)
+
+    def test_points_stay_on_sphere(self):
+        meg = self.make()
+        meg.reset(seed=0)
+        for _ in range(10):
+            meg.step()
+        norms = np.linalg.norm(meg._points, axis=1)  # noqa: SLF001
+        np.testing.assert_allclose(norms, 1.0, atol=1e-9)
+
+    def test_step_angular_displacement_bounded(self):
+        meg = self.make()
+        meg.reset(seed=1)
+        before = meg._points.copy()  # noqa: SLF001
+        meg.step()
+        after = meg._points  # noqa: SLF001
+        angles = np.arccos(np.clip(np.einsum("ij,ij->i", before, after), -1, 1))
+        surface = angles * meg.sphere_radius
+        assert (surface <= 1.0 + 1e-6).all()
+
+    def test_uniform_stationary_occupancy(self):
+        """Octant occupancy stays uniform after steps (symmetry check)."""
+        meg = SphereWaypointMEG(6000, radius=2.0, speed=1.0)
+        meg.reset(seed=2)
+        for _ in range(5):
+            meg.step()
+        signs = (meg._points > 0)  # noqa: SLF001
+        octant = signs[:, 0].astype(int) * 4 + signs[:, 1] * 2 + signs[:, 2]
+        counts = np.bincount(octant, minlength=8)
+        assert counts.min() > 0.8 * 6000 / 8
+        assert counts.max() < 1.2 * 6000 / 8
+
+    def test_flooding_completes(self):
+        meg = self.make(400)
+        res = flood(meg, 0, seed=3)
+        assert res.completed
+
+    def test_replay_determinism(self):
+        meg = self.make(100)
+        t1 = flood(meg, 0, seed=9).time
+        t2 = flood(meg, 0, seed=9).time
+        assert t1 == t2
+
+    def test_flooding_shape_matches_planar(self):
+        """The sqrt(n)/R shape holds on the sphere too (same area, same
+        density, same radius law)."""
+        n = 1024
+        radius = 2.0 * math.sqrt(math.log(n))
+        meg = SphereWaypointMEG(n, radius=radius, speed=1.0)
+        times = [flood(meg, 0, seed=s).time for s in range(4)]
+        predictor = math.sqrt(n) / radius
+        ratio = float(np.mean(times)) / predictor
+        assert 0.2 < ratio < 3.0

@@ -1,0 +1,31 @@
+"""Run the doctest examples embedded in the library's docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.analysis.sweep
+import repro.core.flooding
+import repro.edgemeg.meg
+import repro.geometric.meg
+import repro.markov.chain
+import repro.markov.two_state
+import repro.util.timing
+
+MODULES = [
+    repro.markov.chain,
+    repro.markov.two_state,
+    repro.edgemeg.meg,
+    repro.geometric.meg,
+    repro.util.timing,
+    repro.analysis.sweep,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, optionflags=doctest.ELLIPSIS)
+    assert result.attempted > 0, f"{module.__name__} has no doctests"
+    assert result.failed == 0

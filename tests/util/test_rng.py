@@ -1,0 +1,96 @@
+"""Tests for repro.util.rng — seed coercion and stream spawning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_generator, as_seed_sequence, derive_seed, spawn, spawn_iter
+
+
+class TestAsGenerator:
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = as_generator(7).random(5)
+        b = as_generator(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(as_generator(1).random(5), as_generator(2).random(5))
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert as_generator(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        ss = np.random.SeedSequence(42)
+        a = as_generator(ss).random(3)
+        b = as_generator(np.random.SeedSequence(42)).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sequence_of_ints_accepted(self):
+        a = as_generator([1, 2, 3]).random(3)
+        b = as_generator([1, 2, 3]).random(3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestAsSeedSequence:
+    def test_int_round_trip(self):
+        ss = as_seed_sequence(5)
+        assert isinstance(ss, np.random.SeedSequence)
+        assert ss.entropy == 5
+
+    def test_passthrough(self):
+        ss = np.random.SeedSequence(9)
+        assert as_seed_sequence(ss) is ss
+
+    def test_generator_derivation_is_deterministic(self):
+        a = as_seed_sequence(np.random.default_rng(3))
+        b = as_seed_sequence(np.random.default_rng(3))
+        assert a.entropy == b.entropy
+
+
+class TestSpawn:
+    def test_count(self):
+        assert len(spawn(0, 4)) == 4
+
+    def test_zero_is_allowed(self):
+        assert spawn(0, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_streams_are_independent_and_deterministic(self):
+        first = [g.random(4) for g in spawn(11, 3)]
+        second = [g.random(4) for g in spawn(11, 3)]
+        for a, b in zip(first, second):
+            np.testing.assert_array_equal(a, b)
+        assert not np.allclose(first[0], first[1])
+
+    def test_spawn_iter_matches_incremental_spawn(self):
+        it = spawn_iter(5)
+        a = next(it).random(3)
+        b = next(it).random(3)
+        assert not np.allclose(a, b)
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+
+    def test_keys_matter(self):
+        assert derive_seed(1, 2, 3) != derive_seed(1, 2, 4)
+
+    def test_master_matters(self):
+        assert derive_seed(1, 2) != derive_seed(9, 2)
+
+    def test_in_63_bit_range(self):
+        s = derive_seed(123, 4, 5, 6)
+        assert 0 <= s < 2**63
+
+    def test_no_key_collision_small_grid(self):
+        seeds = {derive_seed(0, i, j) for i in range(10) for j in range(10)}
+        assert len(seeds) == 100

@@ -1,0 +1,52 @@
+"""Tests for repro.util.timing and repro.util.logging."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.util.logging import enable_console_logging, get_logger
+from repro.util.timing import Timer, format_seconds
+
+
+class TestTimer:
+    def test_context_manager_measures(self):
+        with Timer() as t:
+            sum(range(100))
+        assert t.elapsed >= 0.0
+
+    def test_stop_is_idempotent(self):
+        with Timer() as t:
+            pass
+        first = t.stop()
+        second = t.stop()
+        assert first == second == t.elapsed
+
+
+class TestFormatSeconds:
+    def test_milliseconds(self):
+        assert format_seconds(0.123) == "123ms"
+
+    def test_seconds(self):
+        assert format_seconds(1.5) == "1.50s"
+
+    def test_minutes(self):
+        assert format_seconds(125) == "2m05s"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+
+class TestLogging:
+    def test_namespace_nesting(self):
+        assert get_logger().name == "repro"
+        assert get_logger("core").name == "repro.core"
+        assert get_logger("repro.core").name == "repro.core"
+
+    def test_enable_console_is_idempotent(self):
+        logger = enable_console_logging(logging.DEBUG)
+        count = len(logger.handlers)
+        enable_console_logging(logging.DEBUG)
+        assert len(logger.handlers) == count

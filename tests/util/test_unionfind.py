@@ -1,0 +1,97 @@
+"""Tests for repro.util.unionfind."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_initially_disjoint(self):
+        uf = UnionFind(5)
+        assert uf.num_components == 5
+        assert not uf.connected(0, 1)
+        assert len(uf) == 5
+
+    def test_union_and_find(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert not uf.union(0, 1)  # already merged
+        assert uf.connected(0, 1)
+        assert uf.num_components == 3
+
+    def test_transitivity(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert uf.find(0) == uf.find(2)
+
+    def test_union_edges(self):
+        uf = UnionFind(6)
+        uf.union_edges(np.array([[0, 1], [2, 3], [1, 2]]))
+        assert uf.num_components == 3
+        assert uf.connected(0, 3)
+
+    def test_component_sizes_sorted(self):
+        uf = UnionFind(6)
+        uf.union_edges(np.array([[0, 1], [1, 2], [3, 4]]))
+        np.testing.assert_array_equal(uf.component_sizes(), [3, 2, 1])
+        assert uf.largest_component_size() == 3
+
+    def test_component_labels_consistent(self):
+        uf = UnionFind(5)
+        uf.union(0, 4)
+        labels = uf.component_labels()
+        assert labels[0] == labels[4]
+        assert len(np.unique(labels)) == uf.num_components
+
+    @settings(max_examples=25, deadline=None)
+    @given(n=st.integers(2, 40), seed=st.integers(0, 500))
+    def test_property_component_count_invariant(self, n, seed):
+        """components == n - (number of successful unions)."""
+        rng = np.random.default_rng(seed)
+        uf = UnionFind(n)
+        merges = 0
+        for _ in range(2 * n):
+            x, y = rng.integers(n, size=2)
+            if x != y and uf.union(int(x), int(y)):
+                merges += 1
+        assert uf.num_components == n - merges
+        assert uf.component_sizes().sum() == n
+
+
+class TestGeometricConnectivity:
+    def test_two_clusters(self):
+        from repro.geometric.connectivity import component_report, is_geometric_connected
+
+        pos = np.array([[0.0, 0.0], [1.0, 0.0], [10.0, 0.0], [11.0, 0.0]])
+        report = component_report(pos, 1.5)
+        assert report.num_components == 2
+        assert report.largest_fraction == 0.5
+        assert not report.connected
+        assert not is_geometric_connected(pos, 1.5)
+        assert is_geometric_connected(pos, 20.0)
+
+    def test_toroidal_connectivity(self):
+        from repro.geometric.connectivity import is_geometric_connected
+
+        pos = np.array([[0.5, 0.0], [19.5, 0.0]])
+        assert not is_geometric_connected(pos, 2.0)
+        assert is_geometric_connected(pos, 2.0, boxsize=20.0)
+
+    def test_matches_er_union_find(self, rng):
+        """Geometric connectivity agrees with the dense-matrix path."""
+        from repro.edgemeg.er import is_connected
+        from repro.geometric.connectivity import is_geometric_connected
+        from repro.geometric.neighbors import radius_edges
+
+        pos = rng.uniform(0, 20, size=(40, 2))
+        adj = np.zeros((40, 40), dtype=bool)
+        for u, v in radius_edges(pos, 4.0):
+            adj[u, v] = adj[v, u] = True
+        assert is_geometric_connected(pos, 4.0) == is_connected(adj)

@@ -1,0 +1,127 @@
+"""Tests for repro.util.validation."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    require,
+    require_in_range,
+    require_int,
+    require_node,
+    require_nonnegative,
+    require_positive,
+    require_positive_int,
+    require_probability,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="boom"):
+            require(False, "boom")
+
+
+class TestRequireInt:
+    def test_int(self):
+        assert require_int(5, "x") == 5
+
+    def test_numpy_int(self):
+        assert require_int(np.int64(7), "x") == 7
+
+    def test_integral_float(self):
+        assert require_int(4.0, "x") == 4
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeError, match="x"):
+            require_int(4.5, "x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            require_int(True, "x")
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            require_int("3", "x")
+
+
+class TestRequirePositiveInt:
+    def test_ok(self):
+        assert require_positive_int(1, "x") == 1
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_nonpositive_rejected(self, bad):
+        with pytest.raises(ValueError):
+            require_positive_int(bad, "x")
+
+
+class TestRequireNonnegative:
+    def test_zero_ok(self):
+        assert require_nonnegative(0.0, "x") == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            require_nonnegative(-0.1, "x")
+
+    @pytest.mark.parametrize("bad", [math.inf, math.nan])
+    def test_nonfinite_rejected(self, bad):
+        with pytest.raises(ValueError):
+            require_nonnegative(bad, "x")
+
+
+class TestRequirePositive:
+    def test_ok(self):
+        assert require_positive(0.5, "x") == 0.5
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            require_positive(0.0, "x")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            require_positive(math.nan, "x")
+
+
+class TestRequireProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_closed_interval(self, value):
+        assert require_probability(value, "p") == value
+
+    def test_open_left_rejects_zero(self):
+        with pytest.raises(ValueError):
+            require_probability(0.0, "p", open_left=True)
+
+    def test_open_right_rejects_one(self):
+        with pytest.raises(ValueError):
+            require_probability(1.0, "p", open_right=True)
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1, math.nan])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            require_probability(bad, "p")
+
+
+class TestRequireInRange:
+    def test_endpoints_included(self):
+        assert require_in_range(1.0, "x", 1.0, 2.0) == 1.0
+        assert require_in_range(2.0, "x", 1.0, 2.0) == 2.0
+
+    def test_outside_rejected(self):
+        with pytest.raises(ValueError):
+            require_in_range(2.5, "x", 1.0, 2.0)
+
+
+class TestRequireNode:
+    def test_ok(self):
+        assert require_node(3, 5) == 3
+
+    @pytest.mark.parametrize("bad", [-1, 5, 100])
+    def test_out_of_range(self, bad):
+        with pytest.raises(ValueError):
+            require_node(bad, 5)
