@@ -12,12 +12,23 @@ Processes
     :func:`~repro.core.flood` / :func:`~repro.core.flooding_time` (the
     paper's flooding mechanism) plus the protocol baselines in
     :mod:`repro.core.spreading`.
+Engine
+    The batched Monte Carlo engine in :mod:`repro.engine`: declare a
+    :class:`~repro.engine.SimulationPlan`, execute it with
+    :func:`~repro.engine.run_plan` on the ``serial`` / ``batched`` /
+    ``parallel`` backend, and aggregate the outcome as a
+    :class:`~repro.engine.TrialEnsemble`.  Trial batches such as
+    :func:`~repro.core.flooding_trials` and
+    :func:`~repro.core.protocol_trials` accept the same
+    ``backend=`` switch directly.
 Theory
     Expansion measurement (:mod:`repro.core.expansion`) and the
     paper's bound calculators (:mod:`repro.core.bounds`).
 Experiments
     ``python -m repro.experiments <id>`` regenerates every experiment
-    table; see DESIGN.md for the index.
+    table (``--trials/--backend/--jobs`` scale any of them); see
+    DESIGN.md for the architecture, the engine seed-tree contracts,
+    and the experiment index.
 """
 
 from repro.core import (
@@ -36,8 +47,11 @@ from repro.core import (
     geometric_upper_bound,
     ladder_bound,
     max_flooding_time_over_sources,
+    protocol_trials,
+    resolve_max_steps,
     unit_ladder_bound,
 )
+from repro.engine import SimulationPlan, TrialEnsemble, run_plan
 from repro.dynamics import EvolvingGraph, GraphSnapshot, moving_hub_star
 from repro.edgemeg import EdgeMEG, IndependentDynamicGraph, SparseEdgeMEG
 from repro.geometric import GeometricMEG
@@ -75,6 +89,11 @@ __all__ = [
     "flooding_time",
     "flooding_trials",
     "max_flooding_time_over_sources",
+    "protocol_trials",
+    "resolve_max_steps",
+    "SimulationPlan",
+    "TrialEnsemble",
+    "run_plan",
     "ladder_bound",
     "unit_ladder_bound",
     "geometric_ladder",

@@ -35,10 +35,12 @@ from repro.core.flooding import (
     flooding_time,
     flooding_trials,
     max_flooding_time_over_sources,
+    resolve_max_steps,
 )
 from repro.core.spreading import (
     parsimonious_flood,
     probabilistic_flood,
+    protocol_trials,
     pull_gossip,
     push_gossip,
     push_pull_gossip,
@@ -62,6 +64,7 @@ __all__ = [
     "flooding_time",
     "flooding_trials",
     "max_flooding_time_over_sources",
+    "resolve_max_steps",
     "ArrivalTimes",
     "foremost_arrival_times",
     "temporal_eccentricity",
@@ -103,4 +106,5 @@ __all__ = [
     "push_gossip",
     "pull_gossip",
     "push_pull_gossip",
+    "protocol_trials",
 ]

@@ -45,14 +45,33 @@ __all__ = [
     "flooding_time",
     "flooding_trials",
     "max_flooding_time_over_sources",
+    "resolve_max_steps",
     "DEFAULT_MAX_STEPS",
 ]
 
 #: Conservative default step cap: on every model in this library the
-#: expected flooding time is polylogarithmic-to-sqrt in ``n``; 4n steps
+#: expected flooding time is polylogarithmic-to-sqrt in ``n``; the
+#: resolved budget of ``4n + 64`` steps (see :func:`resolve_max_steps`)
 #: is far beyond any regime we simulate and signals a disconnected or
 #: mis-parameterised instance rather than a slow one.
-DEFAULT_MAX_STEPS = None  # sentinel: resolved to 4 * n + 64 at call time
+DEFAULT_MAX_STEPS = None  # sentinel: resolved by resolve_max_steps(n)
+
+
+def resolve_max_steps(n: int, max_steps: int | None = DEFAULT_MAX_STEPS) -> int:
+    """Resolve a step budget for a flooding-style process on ``n`` nodes.
+
+    ``None`` (the :data:`DEFAULT_MAX_STEPS` sentinel) resolves to
+    ``4n + 64`` — linear headroom for the adversarial/worst-case
+    experiments plus a constant floor so tiny graphs are not truncated
+    prematurely.  An explicit *max_steps* is validated and returned
+    unchanged.  This is the single budget rule shared by
+    :func:`flood`, the protocols in :mod:`repro.core.spreading`, and
+    the batched engine in :mod:`repro.engine`.
+    """
+    n = require_positive_int(n, "n")
+    if max_steps is None:
+        return 4 * n + 64
+    return require_positive_int(max_steps, "max_steps")
 
 #: Signature of per-step observers: ``observer(t, snapshot, informed_mask)``.
 FloodingObserver = Callable[[int, object, np.ndarray], None]
@@ -150,10 +169,7 @@ def flood(
     """
     n = graph.num_nodes
     sources = _resolve_sources(source, n)
-    if max_steps is None:
-        budget = 4 * n + 64
-    else:
-        budget = require_positive_int(max_steps, "max_steps")
+    budget = resolve_max_steps(n, max_steps)
 
     if reset:
         graph.reset(seed)
@@ -217,6 +233,9 @@ def flooding_trials(
     seed: SeedLike = None,
     source: int | Sequence[int] | None = None,
     max_steps: int | None = DEFAULT_MAX_STEPS,
+    backend: str = "serial",
+    jobs: int | None = None,
+    rng_mode: str = "replay",
 ) -> list[FloodingResult]:
     """Run independent flooding trials with spawned RNG streams.
 
@@ -226,8 +245,30 @@ def flooding_trials(
     vertex-symmetric in distribution, so a random source has the same
     ``T(s)`` distribution as any fixed one; the option to pin *source*
     exists for regression tests.
+
+    Parameters
+    ----------
+    backend:
+        ``"serial"`` (this loop, the reference path), ``"batched"``
+        (the vectorised engine of :mod:`repro.engine`), or
+        ``"parallel"`` (chunked multiprocessing fan-out).  With the
+        default ``rng_mode="replay"`` every backend is bit-identical
+        to the serial path for the same *seed*.
+    jobs:
+        Worker count for the parallel backend (``None`` = one per CPU).
+    rng_mode:
+        ``"replay"`` reproduces the serial seed tree draw-for-draw;
+        ``"native"`` uses the engine's own batched stream layout —
+        identical process law, different realisations, and a much
+        faster kernel (see DESIGN.md).
     """
     trials = require_positive_int(trials, "trials")
+    if backend != "serial":
+        from repro.engine import SimulationPlan, run_plan
+
+        plan = SimulationPlan(model=graph, trials=trials, source=source,
+                              max_steps=max_steps, seed=seed, rng_mode=rng_mode)
+        return run_plan(plan, backend=backend, jobs=jobs).to_results()
     streams = spawn(seed, 2 * trials)
     results: list[FloodingResult] = []
     n = graph.num_nodes
@@ -244,6 +285,7 @@ def max_flooding_time_over_sources(
     seed: SeedLike = None,
     sources: Sequence[int] | None = None,
     max_steps: int | None = DEFAULT_MAX_STEPS,
+    backend: str = "batched",
 ) -> int:
     """``max_s T(s)`` over *sources* on a **single** realisation.
 
@@ -252,6 +294,12 @@ def max_flooding_time_over_sources(
     definition of flooding time (max over sources for one sample of the
     process).  Defaults to all ``n`` sources; pass a subset for large
     graphs.
+
+    The default ``backend="batched"`` advances the shared realisation
+    once while flooding all sources simultaneously as rows of an
+    ``(S, n)`` informed matrix — bit-identical to the ``"serial"``
+    source-by-source replay but without re-simulating the graph per
+    source.
     """
     n = graph.num_nodes
     if sources is None:
@@ -259,6 +307,12 @@ def max_flooding_time_over_sources(
     rng = as_generator(seed)
     # Freeze one replayable seed for the shared realisation.
     replay_seed = int(rng.integers(0, 2**63 - 1))
+    if backend == "batched":
+        from repro.engine.batch import run_multisource_replay
+
+        return run_multisource_replay(graph, sources, replay_seed,
+                                      resolve_max_steps(n, max_steps))
+    require(backend == "serial", f"unknown backend: {backend!r}")
     worst = 0
     for s in sources:
         t = flooding_time(graph, int(s), seed=replay_seed, max_steps=max_steps)

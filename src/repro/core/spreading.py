@@ -34,11 +34,18 @@ protocol here at every time step.
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
-from repro.core.flooding import DEFAULT_MAX_STEPS, FloodingResult, _resolve_sources
+from repro.core.flooding import (
+    DEFAULT_MAX_STEPS,
+    FloodingResult,
+    _resolve_sources,
+    resolve_max_steps,
+)
 from repro.dynamics.base import EvolvingGraph
-from repro.util.rng import SeedLike, as_generator, spawn
+from repro.util.rng import SeedLike, as_generator, derive_seed, spawn
 from repro.util.validation import require, require_positive_int, require_probability
 
 __all__ = [
@@ -47,13 +54,12 @@ __all__ = [
     "push_gossip",
     "pull_gossip",
     "push_pull_gossip",
+    "protocol_trials",
 ]
 
 
 def _budget(graph: EvolvingGraph, max_steps: int | None) -> int:
-    if max_steps is None:
-        return 4 * graph.num_nodes + 64
-    return require_positive_int(max_steps, "max_steps")
+    return resolve_max_steps(graph.num_nodes, max_steps)
 
 
 def _finish(sources, t, informed, history) -> FloodingResult:
@@ -268,3 +274,103 @@ def push_pull_gossip(
         t += 1
         history.append(int(informed.sum()))
     return _finish(sources, t, informed, history)
+
+
+# ---------------------------------------------------------------------------
+# trial batches
+# ---------------------------------------------------------------------------
+
+def _protocol_trial_seed(seed: SeedLike, trial: int) -> int:
+    """Stable integer seed of one protocol trial.
+
+    Integers (not generator objects) on purpose: passing the same
+    *seed* to :func:`protocol_trials` for *different* protocols hands
+    every protocol the identical per-trial integer, so their internal
+    ``spawn(seed, 2)`` splits couple the evolving-graph realisation
+    across protocols (the E14 dominance methodology) while keeping the
+    protocol randomness independent.
+    """
+    return derive_seed(seed, 2 * trial)
+
+
+def _protocol_chunk(payload: dict) -> list[FloodingResult]:
+    """Worker entry: run a contiguous block of protocol trials."""
+    protocol = payload["protocol"]
+    graph = payload["graph"]
+    results = []
+    for trial, src in zip(payload["trials"], payload["sources"]):
+        results.append(protocol(graph, src, seed=payload["seeds"][trial],
+                                max_steps=payload["max_steps"],
+                                **payload["kwargs"]))
+    return results
+
+
+def protocol_trials(
+    protocol: Callable[..., FloodingResult],
+    graph: EvolvingGraph,
+    *,
+    trials: int,
+    seed: SeedLike = None,
+    source: int | None = None,
+    max_steps: int | None = DEFAULT_MAX_STEPS,
+    backend: str = "serial",
+    jobs: int | None = None,
+    rng_mode: str = "replay",
+    chunk_size: int = 16,
+    **protocol_kwargs,
+) -> list[FloodingResult]:
+    """Independent trials of a spreading *protocol* (engine-executed).
+
+    The protocol counterpart of
+    :func:`~repro.core.flooding.flooding_trials`: per-trial seeds derive
+    deterministically from *seed* (see :func:`_protocol_trial_seed` for
+    the cross-protocol coupling guarantee) and a uniformly random source
+    is drawn per trial when *source* is ``None``.
+
+    *protocol* is any callable with the module's protocol signature
+    ``protocol(graph, source, *, seed, max_steps, **kwargs)`` —
+    including :func:`repro.core.flooding.flood` itself.
+
+    Backends: ``"serial"`` and ``"batched"`` run in-process (protocols
+    carry per-node randomness that the vectorised kernels do not model
+    yet, so ``"batched"`` is an alias kept for interface uniformity
+    with the flooding engine); ``"parallel"`` fans chunks out to worker
+    processes, which requires *protocol* to be picklable (module-level
+    function or :func:`functools.partial`).
+    """
+    trials = require_positive_int(trials, "trials")
+    require(backend in ("serial", "batched", "parallel"),
+            f"backend must be serial, batched, or parallel, got {backend!r}")
+    require(rng_mode in ("replay", "native"),
+            "rng_mode must be replay or native")
+    # Protocol randomness has a single (replay) layout today; rng_mode is
+    # accepted so ExperimentConfig.flood_kwargs() routes uniformly.
+    n = graph.num_nodes
+    seeds = [_protocol_trial_seed(seed, i) for i in range(trials)]
+    sources = []
+    for i in range(trials):
+        if source is None:
+            rng = as_generator(derive_seed(seed, 2 * i + 1))
+            sources.append(int(rng.integers(n)))
+        else:
+            sources.append(source)
+    if backend != "parallel" or (jobs is not None and jobs == 1) or trials == 1:
+        return [protocol(graph, sources[i], seed=seeds[i],
+                         max_steps=max_steps, **protocol_kwargs)
+                for i in range(trials)]
+    from repro.engine.executor import fan_out_chunks
+
+    payloads = []
+    for start in range(0, trials, require_positive_int(chunk_size, "chunk_size")):
+        block = list(range(start, min(start + chunk_size, trials)))
+        payloads.append({
+            "protocol": protocol,
+            "graph": graph,
+            "trials": block,
+            "sources": [sources[i] for i in block],
+            "seeds": seeds,
+            "max_steps": max_steps,
+            "kwargs": protocol_kwargs,
+        })
+    chunks = fan_out_chunks(_protocol_chunk, payloads, jobs)
+    return [result for chunk in chunks for result in chunk]

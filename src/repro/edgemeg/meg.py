@@ -17,6 +17,8 @@ fast path in :mod:`repro.edgemeg.independent`).
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.dynamics.base import EvolvingGraph
@@ -60,6 +62,17 @@ class EdgeMEG(EvolvingGraph):
         self._rng = as_generator(None)
         self._t = 0
         self._initialized = False
+
+    def __deepcopy__(self, memo: dict) -> "EdgeMEG":
+        # The upper-triangle index pair is a function of n alone and is
+        # never mutated; sharing it keeps per-trial model cloning in the
+        # batch engine O(num_pairs) instead of O(3 * num_pairs).
+        clone = self.__class__.__new__(self.__class__)
+        memo[id(self)] = clone
+        memo[id(self._iu)] = self._iu
+        for key, value in self.__dict__.items():
+            setattr(clone, key, copy.deepcopy(value, memo))
+        return clone
 
     # -- basic properties ---------------------------------------------------
 

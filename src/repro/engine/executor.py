@@ -1,0 +1,144 @@
+"""Plan execution: serial reference, in-process batching, and
+chunked multiprocessing fan-out.
+
+``run_plan`` is the single entry point.  Backends:
+
+``serial``
+    The reference path — one :func:`repro.core.flooding.flood` call per
+    trial on a single model instance, with the legacy stream layout.
+    Exists so every other backend has a bit-comparable baseline.
+``batched``
+    Chunks of trials advance together through the vectorised kernels of
+    :mod:`repro.engine.batch`, in this process.
+``parallel``
+    The same chunks, fanned out to worker processes.  Workers receive
+    a self-contained payload (plan + pre-derived chunk randomness) and
+    build their models locally, so nothing is shared but the results.
+
+With the plan's default ``rng_mode="replay"`` all three backends return
+bit-identical ensembles for the same seed; ``"native"`` trades that for
+the fast chunk-stream kernels (deterministic in ``(seed, trials,
+chunk_size)``, independent of *jobs*).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from typing import Sequence
+
+import multiprocessing
+
+from repro.core.flooding import _resolve_sources, flood, resolve_max_steps
+from repro.engine.batch import run_chunk
+from repro.engine.plan import SimulationPlan
+from repro.engine.results import TrialEnsemble
+from repro.util.rng import as_seed_sequence
+from repro.util.validation import require
+
+__all__ = ["run_plan", "fan_out_chunks", "BACKENDS", "default_jobs"]
+
+#: Supported execution backends.
+BACKENDS = ("serial", "batched", "parallel")
+
+
+def default_jobs() -> int:
+    """Worker count used when ``jobs`` is ``None``: one per CPU."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _pool_context():
+    # Prefer fork only on Linux: payloads are picklable either way, and
+    # fork-without-exec is crash-prone on macOS (threaded BLAS, ObjC).
+    if sys.platform == "linux":
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def fan_out_chunks(worker, payloads: Sequence[dict],
+                   jobs: int | None = None) -> list:
+    """Map *worker* over *payloads* in worker processes, order-preserving.
+
+    The shared fan-out primitive behind the parallel backends (plan
+    chunks, protocol trial blocks).  Runs in-process when there is a
+    single payload or a single job.
+    """
+    if len(payloads) <= 1 or (jobs is not None and jobs <= 1):
+        return [worker(p) for p in payloads]
+    workers = min(jobs or default_jobs(), len(payloads))
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=_pool_context()) as pool:
+        return list(pool.map(worker, payloads))
+
+
+def _run_serial(plan: SimulationPlan, root, budget: int) -> TrialEnsemble:
+    """Legacy per-trial loop (the bit-compatibility reference)."""
+    model = plan.make_model()
+    n = model.num_nodes
+    streams = plan.replay_streams(root)
+    results = []
+    for i in range(plan.trials):
+        rng_graph, rng_src = streams[2 * i], streams[2 * i + 1]
+        src = int(rng_src.integers(n)) if plan.source is None else plan.source
+        results.append(flood(model, src, seed=rng_graph, max_steps=budget))
+    ensemble = TrialEnsemble.from_results(results, num_nodes=n)
+    if plan.record_history and plan.record_informed:
+        return ensemble
+    # Honour the plan's recording flags so every backend returns the
+    # same ensemble shape.
+    return TrialEnsemble(
+        num_nodes=ensemble.num_nodes,
+        sources=ensemble.sources,
+        times=ensemble.times,
+        completed=ensemble.completed,
+        histories=ensemble.histories if plan.record_history else (),
+        informed=ensemble.informed if plan.record_informed else None,
+    )
+
+
+def _chunk_payloads(plan: SimulationPlan, root, budget: int) -> list[dict]:
+    payloads = []
+    streams = plan.replay_streams(root) if plan.rng_mode == "replay" else None
+    for start, stop in plan.chunk_ranges():
+        payload = {"plan": plan, "range": (start, stop), "budget": budget}
+        if streams is not None:
+            payload["streams"] = streams[2 * start:2 * stop]
+        else:
+            payload["chunk_seed"] = plan.native_chunk_seed(root, start)
+        payloads.append(payload)
+    return payloads
+
+
+def run_plan(plan: SimulationPlan, *, backend: str = "batched",
+             jobs: int | None = None) -> TrialEnsemble:
+    """Execute *plan* and return the aggregated :class:`TrialEnsemble`.
+
+    Parameters
+    ----------
+    plan:
+        What to simulate (model, trials, sources, budget, seed tree).
+    backend:
+        One of :data:`BACKENDS`.
+    jobs:
+        Worker processes for the parallel backend (``None`` = one per
+        CPU; ignored otherwise).
+    """
+    require(backend in BACKENDS, f"backend must be one of {BACKENDS}")
+    if jobs is not None:
+        require(int(jobs) >= 1, "jobs must be >= 1")
+    template = plan.model if plan.model is not None else plan.model_factory()
+    n = template.num_nodes
+    budget = resolve_max_steps(n, plan.max_steps)
+    if plan.source is not None:
+        _resolve_sources(plan.source, n)  # fail fast on bad plans
+    root = as_seed_sequence(plan.seed)  # normalised exactly once
+
+    if backend == "serial":
+        return _run_serial(plan, root, budget)
+    payloads = _chunk_payloads(plan, root, budget)
+    if backend == "batched":
+        parts = [run_chunk(p) for p in payloads]
+    else:
+        parts = fan_out_chunks(run_chunk, payloads, jobs)
+    return TrialEnsemble.concatenate(parts)

@@ -1,0 +1,136 @@
+"""Declarative simulation plans and the deterministic seed tree.
+
+A :class:`SimulationPlan` captures *what* to simulate — model, trial
+count, sources, step budget, seed — independently of *how* it is
+executed (``serial`` / ``batched`` / ``parallel``, see
+:mod:`repro.engine.executor`).  Everything random derives from the
+plan's single seed through one of two documented stream layouts:
+
+``replay`` (default)
+    The exact layout of the serial reference path
+    :func:`repro.core.flooding.flooding_trials`: ``spawn(seed,
+    2 * trials)`` yields per-trial ``(graph, source)`` generator pairs
+    in trial order.  Every backend consuming this layout is
+    **bit-identical** to the serial loop — same flooding times, same
+    informed histories, same masks — regardless of chunking or worker
+    count.
+
+``native``
+    One generator per fixed-size *chunk* of trials, derived via
+    :func:`repro.util.rng.derive_seed` from the chunk's starting trial
+    index.  Kernels draw from the chunk stream in batch order, which
+    unlocks the fast vectorised churn kernels in
+    :mod:`repro.engine.batch`.  Results are deterministic in
+    ``(seed, trials, chunk_size)`` and independent of the worker count
+    (the parallel executor distributes whole chunks), but are *different
+    realisations* from the replay layout — identical in distribution,
+    not draw-for-draw.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.dynamics.base import EvolvingGraph
+from repro.util.rng import SeedLike, derive_seed
+from repro.util.validation import require, require_positive_int
+
+__all__ = ["SimulationPlan", "RNG_MODES"]
+
+#: Supported stream layouts.
+RNG_MODES = ("replay", "native")
+
+#: Fixed key separating the native chunk-seed namespace from other
+#: derive_seed users (an arbitrary constant, part of the seed contract).
+_NATIVE_STREAM_KEY = 0xBA7C
+
+#: Default trials per chunk.  Part of the native seed contract: changing
+#: the chunk size changes native realisations (never replay ones).
+DEFAULT_CHUNK_SIZE = 64
+
+
+@dataclass(frozen=True)
+class SimulationPlan:
+    """A declarative batch of independent flooding trials.
+
+    Parameters
+    ----------
+    model:
+        Template :class:`~repro.dynamics.base.EvolvingGraph`; the engine
+        deep-copies it per trial/worker, so the instance you pass is
+        never mutated by the non-serial backends.  Exactly one of
+        *model* and *model_factory* must be given.
+    model_factory:
+        Zero-argument callable building a fresh model.  Must be
+        picklable (a module-level function or :func:`functools.partial`)
+        for the parallel backend.
+    trials:
+        Number of independent trials ``B >= 1``.
+    source:
+        Fixed initiator node (or several, for multi-source flooding);
+        ``None`` draws one uniformly random source per trial.
+    max_steps:
+        Step budget; ``None`` resolves to
+        :func:`repro.core.flooding.resolve_max_steps`.
+    seed:
+        Root of the deterministic seed tree (see the module docstring).
+    rng_mode:
+        ``"replay"`` or ``"native"``.
+    chunk_size:
+        Trials per batch chunk (also the parallel work unit).
+    record_history / record_informed:
+        Disable to save memory on very large ensembles; the resulting
+        :class:`~repro.engine.results.TrialEnsemble` then carries empty
+        histories / no masks.
+    """
+
+    model: EvolvingGraph | None = None
+    model_factory: Callable[[], EvolvingGraph] | None = None
+    trials: int = 1
+    source: int | Sequence[int] | None = None
+    max_steps: int | None = None
+    seed: SeedLike = None
+    rng_mode: str = "replay"
+    chunk_size: int = DEFAULT_CHUNK_SIZE
+    record_history: bool = True
+    record_informed: bool = True
+
+    def __post_init__(self) -> None:
+        require((self.model is None) != (self.model_factory is None),
+                "exactly one of model and model_factory is required")
+        require(self.model is None or isinstance(self.model, EvolvingGraph),
+                "model must be an EvolvingGraph")
+        require_positive_int(self.trials, "trials")
+        require(self.rng_mode in RNG_MODES,
+                f"rng_mode must be one of {RNG_MODES}")
+        require_positive_int(self.chunk_size, "chunk_size")
+
+    # -- model construction -------------------------------------------------
+
+    def make_model(self) -> EvolvingGraph:
+        """A fresh model instance (deep copy of the template, or factory
+        call); safe to reset/step without affecting other trials."""
+        if self.model is not None:
+            return copy.deepcopy(self.model)
+        return self.model_factory()
+
+    # -- seed tree ----------------------------------------------------------
+
+    def replay_streams(self, root: np.random.SeedSequence) -> list[np.random.Generator]:
+        """The serial layout: ``2 * trials`` generators, ``(graph, source)``
+        pairs per trial, spawned from *root* exactly like
+        :func:`repro.core.flooding.flooding_trials` does from its seed."""
+        return [np.random.default_rng(child) for child in root.spawn(2 * self.trials)]
+
+    def native_chunk_seed(self, root: np.random.SeedSequence, start: int) -> int:
+        """Deterministic 63-bit seed of the chunk starting at trial *start*."""
+        return derive_seed(root, _NATIVE_STREAM_KEY, start)
+
+    def chunk_ranges(self) -> Iterator[tuple[int, int]]:
+        """``(start, stop)`` trial ranges of consecutive chunks."""
+        for start in range(0, self.trials, self.chunk_size):
+            yield start, min(start + self.chunk_size, self.trials)

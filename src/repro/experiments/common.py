@@ -14,18 +14,23 @@ scale, and ``"full"`` is what EXPERIMENTS.md records.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
-from typing import TypeVar
+from typing import Any, TypeVar
 
 from repro.util.validation import require
 
-__all__ = ["ExperimentConfig", "DEFAULT_SEED"]
+__all__ = ["ExperimentConfig", "DEFAULT_SEED", "BACKEND_CHOICES"]
 
 #: Default master seed (IPDPS 2009 started 2009-05-25).
 DEFAULT_SEED = 20090525
 
 _SCALES = ("quick", "standard", "full")
+
+#: CLI-facing backend names.  ``native`` is the batched engine with its
+#: fast chunk-stream RNG layout; the other three map one-to-one onto
+#: :data:`repro.engine.BACKENDS`.
+BACKEND_CHOICES = ("serial", "batched", "native", "parallel")
 
 T = TypeVar("T")
 
@@ -43,15 +48,50 @@ class ExperimentConfig:
         counts grow with the scale.
     output_dir:
         When set, experiments save ``.txt/.csv/.json`` artifacts there.
+    trials:
+        Optional override of each experiment's per-configuration trial
+        count (the CLI ``--trials`` flag); ``None`` keeps the scale's
+        default.
+    backend:
+        Execution backend for trial batches (``--backend``); one of
+        :data:`BACKEND_CHOICES`.  ``serial`` and ``batched`` are
+        bit-identical for the same seed; ``native`` runs the fast
+        vectorised kernels on its own deterministic stream layout;
+        ``parallel`` fans chunks out over worker processes.
+    jobs:
+        Worker count for the parallel backend (``--jobs``).
     """
 
     seed: int = DEFAULT_SEED
     scale: str = "standard"
     output_dir: Path | None = None
+    trials: int | None = None
+    backend: str = "serial"
+    jobs: int | None = None
 
     def __post_init__(self) -> None:
         require(self.scale in _SCALES, f"scale must be one of {_SCALES}")
+        require(self.backend in BACKEND_CHOICES,
+                f"backend must be one of {BACKEND_CHOICES}")
+        require(self.trials is None or int(self.trials) >= 1,
+                "trials override must be >= 1")
+        require(self.jobs is None or int(self.jobs) >= 1, "jobs must be >= 1")
 
     def pick(self, quick: T, standard: T, full: T) -> T:
         """Select a value by scale."""
         return {"quick": quick, "standard": standard, "full": full}[self.scale]
+
+    def trial_count(self, default: int) -> int:
+        """The scale's *default* trial count, unless overridden by
+        ``--trials``."""
+        return default if self.trials is None else int(self.trials)
+
+    def flood_kwargs(self) -> dict[str, Any]:
+        """Keyword arguments routing a ``flooding_trials`` /
+        ``protocol_trials`` call through the configured backend."""
+        if self.backend == "native":
+            return {"backend": "batched", "rng_mode": "native"}
+        kwargs: dict[str, Any] = {"backend": self.backend}
+        if self.backend == "parallel":
+            kwargs["jobs"] = self.jobs
+        return kwargs

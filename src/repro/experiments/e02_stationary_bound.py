@@ -65,7 +65,7 @@ def _check(meg, name: str, result: ExperimentResult, config: ExperimentConfig,
     n = meg.num_nodes
     snapshots = config.pick(3, 5, 8)
     search_trials = config.pick(6, 10, 16)
-    flood_trials = config.pick(10, 30, 60)
+    flood_trials = config.trial_count(config.pick(10, 30, 60))
     sizes = np.unique(np.geomspace(1, n // 2, num=config.pick(5, 8, 10)).astype(int))
     ks = _empirical_ladder(meg, snapshots=snapshots, sizes=sizes,
                            trials=search_trials, seed=config.seed + seed_offset)
@@ -78,7 +78,8 @@ def _check(meg, name: str, result: ExperimentResult, config: ExperimentConfig,
         return 0.0
     bound = unit_ladder_bound(n, lambda i, ks=ks: ks[np.clip(i.astype(int) - 1,
                                                              0, len(ks) - 1)])
-    runs = flooding_trials(meg, trials=flood_trials, seed=config.seed + seed_offset + 1)
+    runs = flooding_trials(meg, trials=flood_trials, seed=config.seed + seed_offset + 1,
+                           **config.flood_kwargs())
     times = np.array([r.time for r in runs if r.completed], dtype=float)
     failures = sum(not r.completed for r in runs)
     summary = summarize(times, failures=failures)

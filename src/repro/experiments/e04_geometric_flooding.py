@@ -49,7 +49,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     """Run E4; see the module docstring."""
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     ns = config.pick([256, 1024], [256, 1024, 4096], [1024, 4096, 16384])
-    trials = config.pick(3, 8, 12)
+    trials = config.trial_count(config.pick(3, 8, 12))
 
     predictors, measured = [], []
     for n in ns:
@@ -60,6 +60,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             runs = flooding_trials(
                 meg, trials=trials,
                 seed=derive_seed(config.seed, 4, n, int(radius * 1000)),
+                **config.flood_kwargs(),
             )
             times = np.array([r.time for r in runs if r.completed], dtype=float)
             failures = sum(not r.completed for r in runs)

@@ -34,7 +34,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     """Run E6; see the module docstring."""
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     ns = config.pick([1024, 4096], [1024, 4096, 9216], [4096, 16384, 36864])
-    trials = config.pick(3, 6, 10)
+    trials = config.trial_count(config.pick(3, 6, 10))
 
     ratios_measured, ratios_predicted = [], []
     for n in ns:
@@ -45,6 +45,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             runs = flooding_trials(
                 meg, trials=trials,
                 seed=derive_seed(config.seed, 6, n, int(r_frac * 100)),
+                **config.flood_kwargs(),
             )
             times = np.array([x.time for x in runs if x.completed], dtype=float)
             failures = sum(not x.completed for x in runs)

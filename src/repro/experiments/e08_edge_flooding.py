@@ -47,7 +47,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     """Run E8; see the module docstring."""
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     ns = config.pick([256], [256, 512, 1024], [512, 1024, 2048])
-    trials = config.pick(4, 10, 20)
+    trials = config.trial_count(config.pick(4, 10, 20))
 
     # --- scaling sweep -----------------------------------------------------
     ratios = []
@@ -62,6 +62,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             runs = flooding_trials(
                 meg, trials=trials,
                 seed=derive_seed(config.seed, 8, n, int(p_hat * 10**6)),
+                **config.flood_kwargs(),
             )
             times = np.array([r.time for r in runs if r.completed], dtype=float)
             failures = sum(not r.completed for r in runs)
@@ -106,6 +107,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         runs = flooding_trials(
             meg, trials=trials,
             seed=derive_seed(config.seed, 88, int(q * 10**4)),
+            **config.flood_kwargs(),
         )
         times = np.array([r.time for r in runs if r.completed], dtype=float)
         if times.size == 0:

@@ -39,7 +39,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     """Run E9; see the module docstring."""
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     ns = config.pick([256], [256, 512, 1024], [512, 1024, 2048])
-    trials = config.pick(5, 12, 24)
+    trials = config.trial_count(config.pick(5, 12, 24))
 
     measured, predicted = [], []
     violations, total = 0, 0
@@ -54,6 +54,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             runs = flooding_trials(
                 meg, trials=trials,
                 seed=derive_seed(config.seed, 9, n, int(factor * 10)),
+                **config.flood_kwargs(),
             )
             times = np.array([r.time for r in runs if r.completed], dtype=float)
             if times.size == 0:

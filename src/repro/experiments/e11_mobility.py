@@ -53,7 +53,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     """Run E11; see the module docstring."""
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     n = config.pick(256, 1024, 2048)
-    trials = config.pick(3, 8, 12)
+    trials = config.trial_count(config.pick(3, 8, 12))
     side = math.sqrt(n)
     radius = 2.0 * math.sqrt(math.log(n))
     speed = 1.0
@@ -63,7 +63,8 @@ def run(config: ExperimentConfig) -> ExperimentResult:
 
     # Reference: the paper's lattice random walk.
     ref = GeometricMEG(n, move_radius=speed, radius=radius)
-    runs = flooding_trials(ref, trials=trials, seed=derive_seed(config.seed, 11, 0))
+    runs = flooding_trials(ref, trials=trials, seed=derive_seed(config.seed, 11, 0),
+                           **config.flood_kwargs())
     times = np.array([r.time for r in runs if r.completed], dtype=float)
     summary = summarize(times, failures=sum(not r.completed for r in runs))
     ratios["lattice walk"] = summary.mean / predictor
@@ -79,7 +80,8 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         )
         meg = MobilityMEG(model, radius, warmup_steps=warmup, torus=torus)
         runs = flooding_trials(meg, trials=trials,
-                               seed=derive_seed(config.seed, 11, idx, 2))
+                               seed=derive_seed(config.seed, 11, idx, 2),
+                               **config.flood_kwargs())
         times = np.array([r.time for r in runs if r.completed], dtype=float)
         if times.size == 0:
             result.add_note(f"{name}: all trials truncated")

@@ -32,7 +32,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     """Run E13; see the module docstring."""
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
     n = config.pick(576, 1024, 4096)
-    trials = config.pick(3, 8, 12)
+    trials = config.trial_count(config.pick(3, 8, 12))
 
     measured, predicted = [], []
     for density in (0.25, 1.0, 4.0):
@@ -42,6 +42,7 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         runs = flooding_trials(
             meg, trials=trials,
             seed=derive_seed(config.seed, 13, int(density * 100)),
+            **config.flood_kwargs(),
         )
         times = np.array([r.time for r in runs if r.completed], dtype=float)
         if times.size == 0:

@@ -18,10 +18,11 @@ import math
 import numpy as np
 
 from repro.analysis.records import ExperimentResult
-from repro.core.flooding import flood
+from repro.core.flooding import DEFAULT_MAX_STEPS, flood
 from repro.core.spreading import (
     parsimonious_flood,
     probabilistic_flood,
+    protocol_trials,
     pull_gossip,
     push_gossip,
     push_pull_gossip,
@@ -35,17 +36,27 @@ EXPERIMENT_ID = "E14"
 TITLE = "Flooding as the fastest broadcast baseline (protocol zoo)"
 
 
-def _protocols():
-    # Flooding consumes only graph randomness; spawn(seed, 2)[0] matches
-    # the rng_graph stream the other protocols derive from the same seed.
-    yield "flooding", lambda g, s, seed: flood(g, s, seed=spawn(seed, 2)[0])
-    yield "probabilistic f=0.5", lambda g, s, seed: probabilistic_flood(
-        g, s, transmit_probability=0.5, seed=seed)
-    yield "parsimonious k=2", lambda g, s, seed: parsimonious_flood(
-        g, s, active_steps=2, seed=seed)
-    yield "push", lambda g, s, seed: push_gossip(g, s, seed=seed)
-    yield "pull", lambda g, s, seed: pull_gossip(g, s, seed=seed)
-    yield "push-pull", lambda g, s, seed: push_pull_gossip(g, s, seed=seed)
+def _flood_protocol(graph, source, *, seed=None,
+                    max_steps=DEFAULT_MAX_STEPS):
+    """Flooding under the protocol seeding convention.
+
+    Flooding consumes only graph randomness; ``spawn(seed, 2)[0]``
+    matches the rng_graph stream the other protocols derive from the
+    same seed, which couples the realisation across protocols.
+    Module-level (not a lambda) so ``--backend parallel`` can pickle it.
+    """
+    return flood(graph, source, seed=spawn(seed, 2)[0], max_steps=max_steps)
+
+
+#: (label, protocol callable, protocol kwargs) — all engine-executable.
+PROTOCOLS = (
+    ("flooding", _flood_protocol, {}),
+    ("probabilistic f=0.5", probabilistic_flood, {"transmit_probability": 0.5}),
+    ("parsimonious k=2", parsimonious_flood, {"active_steps": 2}),
+    ("push", push_gossip, {}),
+    ("pull", pull_gossip, {}),
+    ("push-pull", push_pull_gossip, {}),
+)
 
 
 def _model_battery(config: ExperimentConfig):
@@ -61,36 +72,35 @@ def _model_battery(config: ExperimentConfig):
 def run(config: ExperimentConfig) -> ExperimentResult:
     """Run E14; see the module docstring."""
     result = ExperimentResult(EXPERIMENT_ID, TITLE)
-    trials = config.pick(3, 8, 12)
+    trials = config.trial_count(config.pick(3, 8, 12))
 
     dominance_violations = 0
     comparisons = 0
     for model_index, (model_name, meg) in enumerate(_model_battery(config)):
-        times: dict[str, list[float]] = {}
-        completion: dict[str, int] = {}
-        flood_per_trial: list[int] = []
-        for trial in range(trials):
-            trial_seed = derive_seed(config.seed, 14, model_index, trial)
-            flood_time_this_trial = None
-            for proto_name, runner in _protocols():
-                res = runner(meg, 0, trial_seed)
-                completion[proto_name] = completion.get(proto_name, 0) + int(res.completed)
-                if res.completed:
-                    times.setdefault(proto_name, []).append(res.time)
-                if proto_name == "flooding":
-                    flood_time_this_trial = res.time if res.completed else None
-                    if res.completed:
-                        flood_per_trial.append(res.time)
-                elif flood_time_this_trial is not None and res.completed:
-                    comparisons += 1
-                    if res.time < flood_time_this_trial:
-                        dominance_violations += 1
-        for proto_name in completion:
-            proto_times = times.get(proto_name, [])
+        # One battery seed per model; protocol_trials derives identical
+        # per-trial integer seeds from it for every protocol, so graph
+        # realisations stay coupled trial-by-trial across the zoo.
+        battery_seed = derive_seed(config.seed, 14, model_index)
+        runs_by_protocol = {
+            proto_name: protocol_trials(
+                fn, meg, trials=trials, seed=battery_seed, source=0,
+                **config.flood_kwargs(), **kwargs)
+            for proto_name, fn, kwargs in PROTOCOLS
+        }
+        flood_runs = runs_by_protocol["flooding"]
+        for proto_name, runs in runs_by_protocol.items():
+            if proto_name != "flooding":
+                for flood_res, proto_res in zip(flood_runs, runs):
+                    if flood_res.completed and proto_res.completed:
+                        comparisons += 1
+                        if proto_res.time < flood_res.time:
+                            dominance_violations += 1
+            proto_times = [r.time for r in runs if r.completed]
             result.add_row(
                 model=model_name,
                 protocol=proto_name,
-                completion_rate=round(completion[proto_name] / trials, 3),
+                completion_rate=round(
+                    sum(r.completed for r in runs) / trials, 3),
                 mean_time=(round(float(np.mean(proto_times)), 2)
                            if proto_times else float("inf")),
             )

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.experiments E4 --scale quick
     python -m repro.experiments all --scale full --output results/
+    python -m repro.experiments E8 --trials 64 --backend native
+    python -m repro.experiments E8 --backend parallel --jobs 4
     python -m repro.experiments --list
 """
 
@@ -13,7 +15,7 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.experiments.common import DEFAULT_SEED, ExperimentConfig
+from repro.experiments.common import BACKEND_CHOICES, DEFAULT_SEED, ExperimentConfig
 from repro.experiments.registry import EXPERIMENTS, all_ids, load_experiment
 from repro.util.timing import Timer, format_seconds
 
@@ -43,6 +45,13 @@ def run_many(ids: list[str], config: ExperimentConfig, *, stream=None) -> int:
     return inconsistent
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -58,6 +67,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="master seed")
     parser.add_argument("--output", type=Path, default=None,
                         help="directory for .txt/.csv/.json artifacts")
+    parser.add_argument("--trials", type=_positive_int, default=None,
+                        help="override the per-configuration trial count "
+                             "(default: the scale's built-in count)")
+    parser.add_argument("--backend", choices=BACKEND_CHOICES, default="serial",
+                        help="trial execution backend: serial and batched are "
+                             "bit-identical; native uses the fast batched "
+                             "kernels; parallel fans out over processes")
+    parser.add_argument("--jobs", type=_positive_int, default=None,
+                        help="worker processes for --backend parallel "
+                             "(default: one per CPU)")
     parser.add_argument("--list", action="store_true", dest="list_experiments",
                         help="list experiments and exit")
     return parser
@@ -80,7 +99,8 @@ def main(argv: list[str] | None = None) -> int:
     else:
         ids = args.experiments
     config = ExperimentConfig(seed=args.seed, scale=args.scale,
-                              output_dir=args.output)
+                              output_dir=args.output, trials=args.trials,
+                              backend=args.backend, jobs=args.jobs)
     inconsistent = run_many(ids, config)
     return 1 if inconsistent else 0
 

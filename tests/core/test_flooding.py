@@ -10,6 +10,7 @@ from repro.core.flooding import (
     flooding_time,
     flooding_trials,
     max_flooding_time_over_sources,
+    resolve_max_steps,
 )
 from repro.dynamics.sequence import (
     GeneratedEvolvingGraph,
@@ -153,6 +154,27 @@ class TestFloodingTrials:
         meg = EdgeMEG(50, 0.3, 0.3)
         results = flooding_trials(meg, trials=10, seed=3)
         assert len({r.source for r in results}) > 1
+
+
+class TestResolveMaxSteps:
+    def test_default_is_linear_with_floor(self):
+        assert resolve_max_steps(1) == 68
+        assert resolve_max_steps(100) == 464
+
+    def test_explicit_budget_passes_through(self):
+        assert resolve_max_steps(100, 7) == 7
+
+    def test_rejects_bad_budget(self):
+        with pytest.raises(ValueError):
+            resolve_max_steps(10, 0)
+        with pytest.raises(ValueError):
+            resolve_max_steps(0)
+
+    def test_matches_flood_truncation_point(self):
+        # A disconnected graph runs out exactly at the resolved budget.
+        adj = np.zeros((3, 3), dtype=bool)
+        res = flood(static(adj), 0)
+        assert res.time == resolve_max_steps(3)
 
 
 class TestMaxOverSources:

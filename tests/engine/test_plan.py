@@ -1,0 +1,86 @@
+"""Tests for SimulationPlan validation and the deterministic seed tree."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.edgemeg.meg import EdgeMEG
+from repro.engine import SimulationPlan
+from repro.util.rng import as_seed_sequence, spawn
+
+
+def make_meg():
+    return EdgeMEG(12, 0.3, 0.3)
+
+
+class TestValidation:
+    def test_model_or_factory_required(self):
+        with pytest.raises(ValueError):
+            SimulationPlan(trials=3)
+
+    def test_model_and_factory_exclusive(self):
+        with pytest.raises(ValueError):
+            SimulationPlan(model=make_meg(), model_factory=make_meg, trials=3)
+
+    def test_rejects_non_model(self):
+        with pytest.raises(ValueError):
+            SimulationPlan(model=object(), trials=3)
+
+    def test_rejects_bad_trials(self):
+        with pytest.raises(ValueError):
+            SimulationPlan(model=make_meg(), trials=0)
+
+    def test_rejects_bad_rng_mode(self):
+        with pytest.raises(ValueError):
+            SimulationPlan(model=make_meg(), trials=1, rng_mode="fast")
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            SimulationPlan(model=make_meg(), trials=1, chunk_size=0)
+
+
+class TestModelConstruction:
+    def test_make_model_copies_template(self):
+        template = make_meg()
+        plan = SimulationPlan(model=template, trials=1)
+        clone = plan.make_model()
+        assert clone is not template
+        clone.reset(seed=0)
+        clone.step()
+        assert template.time == 0  # template untouched
+
+    def test_make_model_from_factory(self):
+        plan = SimulationPlan(model_factory=make_meg, trials=1)
+        assert plan.make_model().num_nodes == 12
+
+    def test_edge_meg_deepcopy_shares_static_index(self):
+        template = make_meg()
+        clone = SimulationPlan(model=template, trials=1).make_model()
+        assert clone._iu[0] is template._iu[0]
+        clone.reset(seed=1)
+        assert not np.shares_memory(clone._states, template._states)
+
+
+class TestSeedTree:
+    def test_replay_streams_match_serial_layout(self):
+        plan = SimulationPlan(model=make_meg(), trials=4, seed=99)
+        engine_streams = plan.replay_streams(as_seed_sequence(99))
+        serial_streams = spawn(99, 8)
+        for a, b in zip(engine_streams, serial_streams):
+            assert a.integers(2**31) == b.integers(2**31)
+
+    def test_native_chunk_seeds_are_stable_and_distinct(self):
+        plan = SimulationPlan(model=make_meg(), trials=10, seed=7,
+                              rng_mode="native", chunk_size=4)
+        root = as_seed_sequence(7)
+        seeds = [plan.native_chunk_seed(root, start)
+                 for start, _ in plan.chunk_ranges()]
+        again = [plan.native_chunk_seed(as_seed_sequence(7), start)
+                 for start, _ in plan.chunk_ranges()]
+        assert seeds == again
+        assert len(set(seeds)) == len(seeds)
+
+    def test_chunk_ranges_cover_all_trials(self):
+        plan = SimulationPlan(model=make_meg(), trials=10, chunk_size=4)
+        assert list(plan.chunk_ranges()) == [(0, 4), (4, 8), (8, 10)]

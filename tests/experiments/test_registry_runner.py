@@ -6,6 +6,7 @@ import io
 
 import pytest
 
+from repro.analysis.records import rows_to_json
 from repro.experiments.common import ExperimentConfig
 from repro.experiments.registry import EXPERIMENTS, all_ids, load_experiment, normalize_id
 from repro.experiments.runner import build_parser, main, run_many, run_one
@@ -84,3 +85,52 @@ class TestRunner:
     def test_parser_defaults(self):
         args = build_parser().parse_args(["E1"])
         assert args.scale == "standard"
+        assert args.trials is None
+        assert args.backend == "serial"
+        assert args.jobs is None
+
+    def test_parser_engine_flags(self):
+        args = build_parser().parse_args(
+            ["E8", "--trials", "32", "--backend", "native", "--jobs", "4"])
+        assert args.trials == 32
+        assert args.backend == "native"
+        assert args.jobs == 4
+
+    def test_parser_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["E8", "--backend", "gpu"])
+
+    def test_cli_trials_and_backend(self, capsys):
+        assert main(["E8", "--scale", "quick", "--trials", "2",
+                     "--backend", "batched"]) == 0
+        assert "verdict" in capsys.readouterr().out
+
+    def test_batched_backend_bit_identical_tables(self):
+        """serial and batched backends must produce identical tables."""
+        serial = run_one("E8", ExperimentConfig(scale="quick", trials=3))
+        batched = run_one("E8", ExperimentConfig(scale="quick", trials=3,
+                                                 backend="batched"))
+        # json text comparison: nan-valued cells compare equal by spelling
+        assert rows_to_json(serial.rows) == rows_to_json(batched.rows)
+        assert serial.verdict == batched.verdict
+
+
+class TestConfigEngineKnobs:
+    def test_trial_count_override(self):
+        assert ExperimentConfig().trial_count(7) == 7
+        assert ExperimentConfig(trials=3).trial_count(7) == 3
+
+    def test_flood_kwargs_mapping(self):
+        assert ExperimentConfig().flood_kwargs() == {"backend": "serial"}
+        assert ExperimentConfig(backend="native").flood_kwargs() == {
+            "backend": "batched", "rng_mode": "native"}
+        assert ExperimentConfig(backend="parallel", jobs=3).flood_kwargs() == {
+            "backend": "parallel", "jobs": 3}
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(backend="gpu")
+        with pytest.raises(ValueError):
+            ExperimentConfig(trials=0)
+        with pytest.raises(ValueError):
+            ExperimentConfig(jobs=0)
