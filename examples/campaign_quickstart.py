@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Campaign quickstart: persistent, resumable experiment runs.
+
+Runs a small experiment campaign twice against one content-addressed
+result store — the second pass is pure cache fetches — then punches a
+hole into the store and shows resume recomputing exactly the missing
+unit.  Finishes with a cached parameter sweep through the same store.
+
+Run:  python examples/campaign_quickstart.py
+"""
+
+from __future__ import annotations
+
+import math
+import tempfile
+from pathlib import Path
+
+from repro import EdgeMEG, flooding_trials
+from repro.analysis.sweep import parameter_grid, run_sweep
+from repro.analysis.tables import render_table
+from repro.campaign import (
+    ResultStore,
+    campaign_status,
+    plan_experiments,
+    run_campaign,
+)
+from repro.experiments.common import ExperimentConfig
+
+SEED = 20090525
+
+
+def flood_point(point):
+    """A sweep function: mean flooding time of a sparse edge-MEG."""
+    n = point["n"]
+    p_hat = 2.0 * math.log(n) / n
+    meg = EdgeMEG(n, p_hat * point["q"] / (1.0 - p_hat), point["q"])
+    runs = flooding_trials(meg, trials=4, seed=point.seed)
+    return {"flood_mean": round(sum(r.time for r in runs) / len(runs), 3)}
+
+
+def experiment_campaign(results_dir: Path) -> None:
+    store = ResultStore(results_dir)
+    config = ExperimentConfig(scale="quick", seed=SEED)
+    plan = plan_experiments(["E1", "E7", "E13"], config)
+
+    cold = run_campaign(plan, store)
+    print(f"== cold run: {len(cold.computed)} computed "
+          f"in {cold.elapsed * 1e3:.0f} ms ==")
+    warm = run_campaign(plan, store)
+    print(f"== warm run: {len(warm.fetched)} fetched "
+          f"in {warm.elapsed * 1e3:.0f} ms "
+          f"(hit rate {warm.cache_hit_rate:.0%}) ==")
+
+    # Simulate a crash that lost one checkpoint: resume recomputes
+    # exactly that unit, nothing else.
+    store.delete(plan.units[1].key)
+    resumed = run_campaign(plan, store)
+    print(f"== resume: {len(resumed.fetched)} fetched, "
+          f"{len(resumed.computed)} recomputed ==")
+    print()
+    print(render_table(campaign_status(store, plan)))
+    print()
+
+
+def sweep_campaign(results_dir: Path) -> None:
+    store = ResultStore(results_dir)
+    grid = parameter_grid(n=[64, 128, 256], q=[0.2, 0.5])
+    rows = run_sweep(flood_point, grid, seed=SEED, store=store,
+                     sweep_id="quickstart-flood")
+    print("== cached sweep (re-running this script fetches every point) ==")
+    print(render_table(rows))
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as tmp:
+        # Use a real directory like results/ to keep the cache between runs.
+        experiment_campaign(Path(tmp) / "campaign")
+        sweep_campaign(Path(tmp) / "campaign")

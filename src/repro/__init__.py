@@ -29,6 +29,12 @@ Experiments
     table (``--trials/--backend/--jobs`` scale any of them); see
     DESIGN.md for the architecture, the engine seed-tree contracts,
     and the experiment index.
+Campaigns
+    ``python -m repro.campaign run all --results-dir results/`` runs
+    experiment campaigns against the content-addressed result store in
+    :mod:`repro.campaign`: completed work units are fetched instead of
+    recomputed, killed runs resume, and ``run_sweep(store=...)`` makes
+    parameter sweeps incremental the same way.
 """
 
 from repro.core import (

@@ -19,7 +19,12 @@ from typing import Any, Mapping, Sequence
 from repro.analysis.tables import render_table
 from repro.util.validation import require
 
-__all__ = ["ExperimentResult", "rows_to_csv", "rows_to_json"]
+__all__ = ["ExperimentResult", "rows_to_csv", "rows_to_json", "rows_from_json"]
+
+#: The reserved spellings ``_jsonable`` emits for non-finite floats.
+#: String cells with exactly these values decode back into floats, so
+#: they are part of the serialisation contract, not available as data.
+_NONFINITE_SPELLINGS = {"inf": math.inf, "-inf": -math.inf, "nan": math.nan}
 
 
 def _jsonable(value: Any) -> Any:
@@ -28,6 +33,13 @@ def _jsonable(value: Any) -> Any:
         value = value.item()
     if isinstance(value, float) and not math.isfinite(value):
         return str(value)  # "inf" / "nan" — JSON has no literal for these
+    return value
+
+
+def _from_jsonable(value: Any) -> Any:
+    """Inverse of :func:`_jsonable`: decode the non-finite spellings."""
+    if isinstance(value, str) and value in _NONFINITE_SPELLINGS:
+        return _NONFINITE_SPELLINGS[value]
     return value
 
 
@@ -47,6 +59,18 @@ def rows_to_json(rows: Sequence[Mapping[str, Any]]) -> str:
     """Render row dicts as a JSON array."""
     payload = [{k: _jsonable(v) for k, v in row.items()} for row in rows]
     return json.dumps(payload, indent=2)
+
+
+def rows_from_json(text: str) -> list[dict[str, Any]]:
+    """Parse :func:`rows_to_json` output back into row dicts.
+
+    The ``"inf"`` / ``"-inf"`` / ``"nan"`` string spellings decode back
+    into the non-finite floats they stand for, so a dump/load round trip
+    is lossless (``nan`` cells compare equal by spelling, as usual).
+    """
+    payload = json.loads(text)
+    require(isinstance(payload, list), "rows JSON must be an array")
+    return [{k: _from_jsonable(v) for k, v in row.items()} for row in payload]
 
 
 @dataclass
@@ -108,6 +132,27 @@ class ExperimentResult:
                 "rows": [{k: _jsonable(v) for k, v in row.items()} for row in self.rows],
             },
             indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Reconstruct a result from :meth:`to_json` output.
+
+        Round-trips losslessly (modulo ``nan`` identity): row cells that
+        were coerced to the ``"inf"``/``"-inf"``/``"nan"`` spellings by
+        serialisation come back as the non-finite floats they encode.
+        """
+        payload = json.loads(text)
+        require(isinstance(payload, dict), "result JSON must be an object")
+        for key in ("experiment_id", "title", "verdict", "notes", "rows"):
+            require(key in payload, f"result JSON missing {key!r}")
+        return cls(
+            experiment_id=payload["experiment_id"],
+            title=payload["title"],
+            rows=[{k: _from_jsonable(v) for k, v in row.items()}
+                  for row in payload["rows"]],
+            notes=list(payload["notes"]),
+            verdict=payload["verdict"],
         )
 
     def save(self, directory: str | Path) -> Path:

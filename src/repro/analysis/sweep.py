@@ -5,6 +5,13 @@ lists, with per-point trial seeds derived from a master seed and the
 grid coordinates — so adding or removing grid points never changes the
 randomness of the others, and any single point can be re-run in
 isolation for debugging.
+
+Sweeps compose with the campaign layer: pass ``store=`` (a
+:class:`repro.campaign.store.ResultStore`) and every completed point is
+checkpointed into the content-addressed store as it lands — a killed
+sweep resumes by recomputing only the missing points, and a finished
+sweep re-runs as pure cache fetches.  ``jobs=`` fans pending points out
+over worker processes (the function must then be picklable).
 """
 
 from __future__ import annotations
@@ -49,22 +56,75 @@ def run_sweep(
     *,
     seed: SeedLike = None,
     progress: Callable[[int, int, Mapping[str, Any]], None] | None = None,
+    store: "Any | None" = None,
+    sweep_id: str | None = None,
+    force: bool = False,
+    jobs: int | None = None,
 ) -> list[dict[str, Any]]:
     """Evaluate *func* at every grid point; collect result rows.
 
     *func* receives a :class:`SweepPoint` (parameters + stable seed) and
     returns a mapping of result columns; the returned rows merge the
     parameters with the results (results win on key collisions).
+
+    Parameters
+    ----------
+    store:
+        Optional :class:`repro.campaign.store.ResultStore`.  Points
+        whose content-addressed key is already stored are fetched, not
+        recomputed (*force* overrides); fresh points are checkpointed as
+        they complete.
+    sweep_id:
+        Cache-key namespace for this sweep (default: *func*'s qualified
+        name; lambdas and ``functools.partial`` must pass it
+        explicitly); see :func:`repro.campaign.plan.plan_sweep`.
+    jobs:
+        Worker processes for pending points (default ``1`` — in
+        process; *func* must be picklable when > 1).
+    force:
+        Recompute cached points, overwriting the stored rows.
+
+    Either *store* or ``jobs > 1`` routes the sweep through the
+    campaign layer, whose rows travel through the records JSON codec:
+    outcome values must be JSON-representable scalars/strings/lists
+    (non-finite floats survive via their ``"inf"``/``"nan"`` spellings,
+    tuples come back as lists, multi-element numpy arrays are
+    rejected).  The plain path has no such constraint.  *progress*
+    still receives each point's grid index and params, but in
+    completion order, after evaluation (the plain path calls it before).
     """
     require(len(grid) > 0, "grid must be non-empty")
-    rows: list[dict[str, Any]] = []
-    total = len(grid)
-    for index, params in enumerate(grid):
-        point = SweepPoint(params=dict(params), seed=derive_seed(seed, index), index=index)
+    campaign_mode = store is not None or (jobs is not None and jobs > 1)
+    if not campaign_mode:
+        rows: list[dict[str, Any]] = []
+        total = len(grid)
+        for index, params in enumerate(grid):
+            point = SweepPoint(params=dict(params),
+                               seed=derive_seed(seed, index), index=index)
+            if progress is not None:
+                progress(index, total, params)
+            outcome = func(point)
+            row = dict(params)
+            row.update(outcome)
+            rows.append(row)
+        return rows
+
+    # Campaign path: same seeds, same rows, but content-addressed and
+    # resumable.  Imported lazily — analysis is a dependency of
+    # repro.campaign, not the other way around.
+    from repro.campaign.plan import plan_sweep
+    from repro.campaign.query import decode_row
+    from repro.campaign.scheduler import run_campaign
+
+    plan = plan_sweep(func, grid, seed=seed, sweep_id=sweep_id)
+
+    def campaign_progress(done: int, total: int, unit, cached: bool) -> None:
         if progress is not None:
-            progress(index, total, params)
-        outcome = func(point)
-        row = dict(params)
-        row.update(outcome)
-        rows.append(row)
-    return rows
+            # The unit's true grid index, so index-keyed progress
+            # tracking keeps working; units report in completion order
+            # (after evaluation), not before it like the plain path.
+            progress(unit.payload["index"], total, unit.payload["params"])
+
+    report = run_campaign(plan, store, jobs=1 if jobs is None else jobs,
+                          force=force, progress=campaign_progress)
+    return [decode_row(report.result_for(unit)) for unit in plan]

@@ -1,0 +1,52 @@
+"""repro.campaign — persistent, resumable experiment campaigns.
+
+The paper's claims are scaling laws, so the reproduction's real
+workload is parameter sweeps; this package turns them from one-shot
+scripts into incremental, cacheable, restartable jobs:
+
+* :mod:`~repro.campaign.store` — a content-addressed result store
+  (SQLite index + atomic JSON payload objects) keyed on the canonical
+  hash of each work unit's spec.
+* :mod:`~repro.campaign.plan` — expands experiment lists and
+  ``parameter_grid`` sweeps into independent :class:`WorkUnit`\\ s with
+  the derive-seed discipline.
+* :mod:`~repro.campaign.scheduler` — diffs the plan against the store,
+  fans pending units out over worker processes, and checkpoints each
+  completion as it lands (kill it; re-running resumes).
+* :mod:`~repro.campaign.query` — stored units back as
+  :class:`~repro.analysis.records.ExperimentResult` objects and uniform
+  row dicts, plus the provenance manifest.
+
+CLI: ``python -m repro.campaign run all --results-dir results/``; the
+experiment runner's ``--results-dir/--resume/--force`` flags and
+``run_sweep(store=...)`` route through the same store.
+"""
+
+from repro.campaign.plan import CampaignPlan, WorkUnit, plan_experiments, plan_sweep
+from repro.campaign.query import (
+    campaign_rows,
+    campaign_status,
+    fetch_result,
+    fetch_row,
+    read_manifest,
+)
+from repro.campaign.scheduler import CampaignReport, execute_unit, run_campaign
+from repro.campaign.store import ResultStore, canonical_json, unit_key
+
+__all__ = [
+    "CampaignPlan",
+    "CampaignReport",
+    "ResultStore",
+    "WorkUnit",
+    "campaign_rows",
+    "campaign_status",
+    "canonical_json",
+    "execute_unit",
+    "fetch_result",
+    "fetch_row",
+    "plan_experiments",
+    "plan_sweep",
+    "read_manifest",
+    "run_campaign",
+    "unit_key",
+]

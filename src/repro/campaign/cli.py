@@ -1,0 +1,148 @@
+"""``python -m repro.campaign`` — persistent, resumable experiment runs.
+
+Usage::
+
+    python -m repro.campaign run all --results-dir results/
+    python -m repro.campaign run E4 E8 --results-dir results/ --scale full --jobs 8
+    python -m repro.campaign run all --results-dir results/ --force
+    python -m repro.campaign status --results-dir results/ all --scale full
+    python -m repro.campaign show E4 --results-dir results/
+
+``run`` diffs the requested campaign against the store and executes
+only the missing work units (kill it, re-run it, and it picks up where
+it left off); ``status`` shows which units of a campaign are cached;
+``show`` prints a stored experiment table without running anything.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.tables import render_table
+from repro.campaign.plan import CampaignPlan, plan_experiments
+from repro.campaign.query import (
+    campaign_status,
+    fetch_result,
+    print_experiment_report,
+)
+from repro.campaign.scheduler import run_campaign
+from repro.campaign.store import ResultStore
+from repro.experiments.common import (
+    ExperimentConfig,
+    add_run_arguments,
+    expand_ids,
+    positive_int,
+)
+from repro.util.timing import format_seconds
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-campaign",
+        description=("Run experiment campaigns against a content-addressed "
+                     "result store: completed work units are fetched, "
+                     "never recomputed, and a killed campaign resumes "
+                     "from what it already stored."),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute a campaign (resumes by default)")
+    add_run_arguments(run)
+    run.add_argument("--results-dir", type=Path, required=True,
+                     help="the campaign's result store")
+    run.add_argument("--resume", action="store_true", default=True,
+                     help="reuse stored results (the default; kept explicit "
+                          "for scripts)")
+    run.add_argument("--force", action="store_true",
+                     help="recompute every unit, overwriting stored results")
+    run.add_argument("--jobs", type=positive_int, default=None,
+                     help="worker processes: campaign units by default "
+                          "(one per CPU when omitted), or the trial chunks "
+                          "inside each unit with --backend parallel")
+    run.add_argument("--output", type=Path, default=None,
+                     help="also save per-experiment .txt/.csv/.json artifacts")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-unit progress lines")
+
+    status = sub.add_parser("status",
+                            help="show which units of a campaign are cached")
+    add_run_arguments(status)
+    status.add_argument("--results-dir", type=Path, required=True)
+
+    show = sub.add_parser("show", help="print a stored experiment table")
+    add_run_arguments(show)
+    show.add_argument("--results-dir", type=Path, required=True)
+    return parser
+
+
+def _build_plan(args: argparse.Namespace) -> CampaignPlan:
+    if not args.experiments:
+        raise SystemExit("no experiments given (use ids like E4, or 'all')")
+    config = ExperimentConfig(seed=args.seed, scale=args.scale,
+                              trials=args.trials, backend=args.backend,
+                              jobs=getattr(args, "jobs", None))
+    return plan_experiments(expand_ids(args.experiments), config)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    plan = _build_plan(args)
+    store = ResultStore(args.results_dir)
+
+    def progress(done: int, total: int, unit, cached: bool) -> None:
+        if not args.quiet:
+            source = "cached" if cached else "computed"
+            print(f"[{done}/{total}] {unit.label}: {source}", file=sys.stderr)
+
+    # With --backend parallel the parallelism lives *inside* each
+    # experiment; run units one at a time to avoid nested process pools.
+    jobs = 1 if args.backend == "parallel" else args.jobs
+    report = run_campaign(plan, store, jobs=jobs, force=args.force,
+                          progress=progress)
+    inconsistent = print_experiment_report(report, plan,
+                                           output_dir=args.output)
+    print(f"campaign: {report.total} units, {len(report.fetched)} cached, "
+          f"{len(report.computed)} computed in "
+          f"{format_seconds(report.elapsed)} "
+          f"(hit rate {report.cache_hit_rate:.0%})")
+    return 1 if inconsistent else 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    plan = _build_plan(args)
+    store = ResultStore(args.results_dir)
+    store.reconcile()
+    rows = campaign_status(store, plan)
+    print(render_table(rows))
+    cached = sum(bool(row["cached"]) for row in rows)
+    print(f"{cached}/{len(rows)} units cached")
+    return 0
+
+
+def _cmd_show(args: argparse.Namespace) -> int:
+    plan = _build_plan(args)
+    store = ResultStore(args.results_dir)
+    missing = 0
+    for unit in plan:
+        if unit.key not in store:
+            print(f"{unit.label}: not in store (run the campaign first)",
+                  file=sys.stderr)
+            missing += 1
+            continue
+        print(fetch_result(store, unit).to_text())
+        print()
+    return 1 if missing else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    command = {"run": _cmd_run, "status": _cmd_status, "show": _cmd_show}
+    return command[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,137 @@
+"""Query layer: stored campaign results back as analysis-ready objects.
+
+Everything a campaign persists decodes into the same shapes the rest of
+the reproduction already consumes: experiment units become
+:class:`~repro.analysis.records.ExperimentResult` (via its lossless
+``from_json``), sweep-point units become the uniform row dicts that
+:func:`repro.analysis.sweep.run_sweep` returns and
+:mod:`repro.analysis.tables` renders.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.analysis.records import ExperimentResult, rows_from_json
+from repro.campaign.plan import CampaignPlan, WorkUnit
+from repro.campaign.store import ResultStore
+from repro.util.timing import format_seconds
+from repro.util.validation import require
+
+__all__ = ["fetch_result", "fetch_row", "campaign_rows", "campaign_status",
+           "print_experiment_report", "read_manifest"]
+
+
+def _result_section(store: ResultStore, unit: WorkUnit) -> dict[str, Any]:
+    section = store.get_result(unit.key)
+    require(section is not None,
+            f"no stored result for {unit.label} ({unit.key[:12]}); "
+            "run the campaign first")
+    return section
+
+
+def decode_experiment(section: Mapping[str, Any]) -> ExperimentResult:
+    """An experiment unit's stored section -> :class:`ExperimentResult`."""
+    return ExperimentResult.from_json(json.dumps(section))
+
+
+def decode_row(section: Mapping[str, Any]) -> dict[str, Any]:
+    """A sweep-point unit's stored section -> its merged row dict."""
+    return rows_from_json(json.dumps([section["row"]]))[0]
+
+
+def fetch_result(store: ResultStore, unit: WorkUnit) -> ExperimentResult:
+    """Load the stored :class:`ExperimentResult` of an experiment unit."""
+    require(unit.kind == "experiment",
+            f"fetch_result wants an experiment unit, got {unit.kind!r}")
+    return decode_experiment(_result_section(store, unit))
+
+
+def fetch_row(store: ResultStore, unit: WorkUnit) -> dict[str, Any]:
+    """Load the stored row of a sweep-point unit."""
+    require(unit.kind == "sweep-point",
+            f"fetch_row wants a sweep-point unit, got {unit.kind!r}")
+    return decode_row(_result_section(store, unit))
+
+
+def campaign_rows(store: ResultStore, plan: CampaignPlan) -> list[dict[str, Any]]:
+    """Every stored row of *plan*, in plan order.
+
+    Sweep-point units contribute their single merged row; experiment
+    units contribute their whole table.  The output is exactly what
+    ``analysis.records.rows_to_csv`` / ``analysis.tables.render_table``
+    consume, so downstream plotting never notices the store.
+    """
+    rows: list[dict[str, Any]] = []
+    for unit in plan:
+        if unit.kind == "sweep-point":
+            rows.append(fetch_row(store, unit))
+        else:
+            rows.extend(fetch_result(store, unit).rows)
+    return rows
+
+
+def print_experiment_report(report, units: Iterable[WorkUnit], *,
+                            stream=None,
+                            output_dir: str | Path | None = None) -> int:
+    """Print each experiment unit's table and timing from a
+    :class:`~repro.campaign.scheduler.CampaignReport`; returns the
+    number of ``inconsistent`` verdicts.
+
+    The shared console back-end of ``python -m repro.experiments
+    --results-dir`` and ``python -m repro.campaign run``.  *units* sets
+    the print order and may repeat (a repeated unit prints, counts, and
+    saves once per occurrence).  Results come from the in-memory report
+    — no store round trip — and *output_dir* gets the usual
+    ``.txt/.csv/.json`` artifacts even for pure cache hits.
+    """
+    if stream is None:
+        stream = sys.stdout
+    inconsistent = 0
+    for unit in units:
+        result = decode_experiment(report.result_for(unit))
+        print(result.to_text(), file=stream)
+        elapsed = report.unit_elapsed.get(unit.key)
+        if elapsed is not None:
+            print(f"  [{format_seconds(elapsed)}]", file=stream)
+        print(file=stream)
+        if result.verdict == "inconsistent":
+            inconsistent += 1
+        if output_dir is not None:
+            result.save(output_dir)
+    return inconsistent
+
+
+def campaign_status(store: ResultStore,
+                    plan: CampaignPlan) -> list[dict[str, Any]]:
+    """One status row per unit: cached?, verdict, elapsed, key prefix."""
+    rows = []
+    for unit in plan:
+        payload = store.get(unit.key)
+        row: dict[str, Any] = {
+            "unit": unit.label,
+            "kind": unit.kind,
+            "key": unit.key[:12],
+            "cached": payload is not None,
+            "verdict": "",
+            "elapsed_s": "",
+        }
+        if payload is not None:
+            meta = payload.get("meta", {})
+            if meta.get("elapsed") is not None:
+                row["elapsed_s"] = round(meta["elapsed"], 3)
+            if unit.kind == "experiment":
+                row["verdict"] = payload["result"].get("verdict", "?")
+        rows.append(row)
+    return rows
+
+
+def read_manifest(store: ResultStore) -> dict[str, Any] | None:
+    """The provenance manifest of the store's latest campaign run."""
+    path = store.root / "manifest.json"
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())

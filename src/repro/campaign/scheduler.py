@@ -1,0 +1,220 @@
+"""Campaign execution: diff the plan against the store, run what's left.
+
+``run_campaign`` is the single entry point.  It
+
+1. reconciles the store's index against its object files (healing any
+   crash between an object publish and its index insert),
+2. diffs the plan's content-addressed keys against the store — units
+   already present are **fetched, never recomputed** (unless *force*),
+3. dispatches the pending units across worker processes through the
+   engine's :func:`repro.engine.executor.fan_out_chunks`, and
+4. checkpoints each completed unit into the store *as it lands*, so a
+   campaign killed mid-flight resumes by recomputing only the missing
+   keys — and, by the replay seed contract, reproduces the
+   uninterrupted results bit-for-bit.
+
+Workers return their results already JSON-encoded; cached and freshly
+computed units therefore flow through exactly the same codec, which is
+what makes warm and cold campaign outputs byte-comparable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.analysis.records import rows_to_json
+from repro.analysis.sweep import SweepPoint
+from repro.campaign.plan import CampaignPlan, WorkUnit
+from repro.campaign.store import ResultStore
+from repro.engine.executor import fan_out_chunks
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.registry import load_experiment
+from repro.util.validation import require
+
+__all__ = ["run_campaign", "execute_unit", "CampaignReport"]
+
+#: progress callback signature: (done_so_far, total, unit, cached?)
+ProgressFn = Callable[[int, int, WorkUnit, bool], None]
+
+
+@dataclass
+class CampaignReport:
+    """What a campaign run did: per-unit outcomes plus totals.
+
+    ``results`` maps unit key -> the deterministic result section
+    (JSON-decodable dict), in no particular order; use the plan for
+    ordering.  ``fetched`` keys were served from the store, ``computed``
+    keys ran; their union covers the whole plan.
+    """
+
+    plan: CampaignPlan
+    results: dict[str, dict[str, Any]] = field(default_factory=dict)
+    fetched: list[str] = field(default_factory=list)
+    computed: list[str] = field(default_factory=list)
+    elapsed: float = 0.0
+    unit_elapsed: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return len(self.plan)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return len(self.fetched) / max(1, self.total)
+
+    def result_for(self, unit: WorkUnit) -> dict[str, Any]:
+        return self.results[unit.key]
+
+
+def execute_unit(payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one work unit (in a worker process or in-process).
+
+    Returns ``{"result": <JSON-safe dict>, "elapsed": seconds}``.  The
+    result section is the unit's *deterministic* output — an
+    :class:`~repro.analysis.records.ExperimentResult` in its ``to_json``
+    form, or a sweep point's merged row — already passed through the
+    records JSON codec so it is identical whether it is read back from
+    the store or handed over freshly computed.
+    """
+    kind = payload["kind"]
+    start = time.perf_counter()
+    if kind == "experiment":
+        config = ExperimentConfig(**payload["config"])
+        module = load_experiment(payload["experiment"])
+        result = module.run(config)
+        section = json.loads(result.to_json())
+    elif kind == "sweep-point":
+        point = SweepPoint(params=dict(payload["params"]),
+                           seed=payload["seed"], index=payload["index"])
+        outcome = payload["func"](point)
+        row = dict(payload["params"])
+        row.update(outcome)
+        section = {"row": json.loads(rows_to_json([row]))[0]}
+    else:
+        raise ValueError(f"unknown work-unit kind: {kind!r}")
+    return {"result": section, "elapsed": time.perf_counter() - start}
+
+
+def _git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent, capture_output=True,
+            text=True, timeout=10, check=False)
+        rev = out.stdout.strip()
+        return rev if out.returncode == 0 and rev else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def write_manifest(store: ResultStore, report: CampaignReport) -> Path:
+    """Record the provenance of the latest campaign run in the store."""
+    manifest = {
+        "written_at": time.time(),
+        "git_rev": _git_rev(),
+        "python": sys.version.split()[0],
+        "argv": sys.argv,
+        "elapsed": report.elapsed,
+        "units": {
+            "total": report.total,
+            "fetched": len(report.fetched),
+            "computed": len(report.computed),
+        },
+        "plan": [{"label": unit.label, "key": unit.key,
+                  "spec": dict(unit.spec)} for unit in report.plan],
+    }
+    path = store.root / "manifest.json"
+    # Atomic like the store's objects: a kill mid-write must not leave a
+    # truncated manifest for the next read_manifest to choke on.
+    fd, tmp_name = tempfile.mkstemp(dir=store.root, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(json.dumps(manifest, indent=2, default=str) + "\n")
+        os.replace(tmp_name, path)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return path
+
+
+def run_campaign(
+    plan: CampaignPlan,
+    store: ResultStore | None = None,
+    *,
+    jobs: int | None = None,
+    force: bool = False,
+    progress: ProgressFn | None = None,
+) -> CampaignReport:
+    """Execute *plan*, fetching cached units from *store*.
+
+    Parameters
+    ----------
+    plan:
+        The expanded campaign (see :mod:`repro.campaign.plan`).
+    store:
+        Result store to fetch from / checkpoint into; ``None`` runs
+        everything without persistence (still parallel).
+    jobs:
+        Worker processes for pending units (``None``: one per CPU,
+        via the engine's fan-out; ``1`` forces in-process execution).
+    force:
+        Recompute every unit even when cached; fresh results overwrite
+        the stored ones.
+    progress:
+        Optional ``progress(done, total, unit, cached)`` callback,
+        invoked once per unit as its result becomes available.
+    """
+    require(jobs is None or int(jobs) >= 1, "jobs must be >= 1")
+    start = time.perf_counter()
+    report = CampaignReport(plan=plan)
+    if store is not None:
+        store.reconcile()
+    done = 0
+
+    pending = plan.pending(store, force=force)
+    pending_keys = {unit.key for unit in pending}
+    for unit in plan:
+        if unit.key in pending_keys:
+            continue
+        payload = store.get(unit.key)
+        require(payload is not None,
+                f"store lost {unit.label} ({unit.key[:12]}) mid-campaign")
+        report.results[unit.key] = payload["result"]
+        report.fetched.append(unit.key)
+        elapsed = payload.get("meta", {}).get("elapsed")
+        if elapsed is not None:
+            report.unit_elapsed[unit.key] = elapsed
+        done += 1
+        if progress is not None:
+            progress(done, len(plan), unit, True)
+
+    def checkpoint(index: int, outcome: dict[str, Any]) -> None:
+        nonlocal done
+        unit = pending[index]
+        if store is not None:
+            store.put(unit.spec, outcome["result"], label=unit.label,
+                      elapsed=outcome["elapsed"])
+        report.results[unit.key] = outcome["result"]
+        report.computed.append(unit.key)
+        report.unit_elapsed[unit.key] = outcome["elapsed"]
+        done += 1
+        if progress is not None:
+            progress(done, len(plan), unit, False)
+
+    if pending:
+        fan_out_chunks(execute_unit, [dict(unit.payload) for unit in pending],
+                       jobs, on_result=checkpoint)
+
+    report.elapsed = time.perf_counter() - start
+    if store is not None:
+        write_manifest(store, report)
+    return report

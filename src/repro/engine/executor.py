@@ -25,8 +25,8 @@ from __future__ import annotations
 
 import os
 import sys
-from concurrent.futures import ProcessPoolExecutor
-from typing import Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Callable, Sequence
 
 import multiprocessing
 
@@ -57,19 +57,40 @@ def _pool_context():
 
 
 def fan_out_chunks(worker, payloads: Sequence[dict],
-                   jobs: int | None = None) -> list:
+                   jobs: int | None = None, *,
+                   on_result: Callable[[int, object], None] | None = None) -> list:
     """Map *worker* over *payloads* in worker processes, order-preserving.
 
     The shared fan-out primitive behind the parallel backends (plan
-    chunks, protocol trial blocks).  Runs in-process when there is a
-    single payload or a single job.
+    chunks, protocol trial blocks) and the campaign scheduler.  Runs
+    in-process when there is a single payload or a single job.
+
+    *on_result*, when given, is called as ``on_result(index, result)``
+    **as each payload completes** (completion order, not submission
+    order) — the campaign scheduler checkpoints results into its store
+    from this hook, so a killed run keeps everything that had finished.
+    The returned list is always in payload order.
     """
     if len(payloads) <= 1 or (jobs is not None and jobs <= 1):
-        return [worker(p) for p in payloads]
+        results = []
+        for index, payload in enumerate(payloads):
+            result = worker(payload)
+            if on_result is not None:
+                on_result(index, result)
+            results.append(result)
+        return results
     workers = min(jobs or default_jobs(), len(payloads))
     with ProcessPoolExecutor(max_workers=workers,
                              mp_context=_pool_context()) as pool:
-        return list(pool.map(worker, payloads))
+        futures = {pool.submit(worker, payload): index
+                   for index, payload in enumerate(payloads)}
+        results: list = [None] * len(payloads)
+        for future in as_completed(futures):
+            index = futures[future]
+            results[index] = future.result()
+            if on_result is not None:
+                on_result(index, results[index])
+        return results
 
 
 def _run_serial(plan: SimulationPlan, root, budget: int) -> TrialEnsemble:

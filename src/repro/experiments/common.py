@@ -14,13 +14,15 @@ scale, and ``"full"`` is what EXPERIMENTS.md records.
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, TypeVar
+from typing import Any, Sequence, TypeVar
 
 from repro.util.validation import require
 
-__all__ = ["ExperimentConfig", "DEFAULT_SEED", "BACKEND_CHOICES"]
+__all__ = ["ExperimentConfig", "DEFAULT_SEED", "BACKEND_CHOICES",
+           "add_run_arguments", "expand_ids", "positive_int"]
 
 #: Default master seed (IPDPS 2009 started 2009-05-25).
 DEFAULT_SEED = 20090525
@@ -95,3 +97,60 @@ class ExperimentConfig:
         if self.backend == "parallel":
             kwargs["jobs"] = self.jobs
         return kwargs
+
+    def stream_contract(self) -> str:
+        """The backend-independent identity of this config's randomness.
+
+        ``serial``, ``batched``, and ``parallel`` all replay the same
+        per-trial streams and are bit-identical for a given seed, so
+        they share the contract ``"replay"``; ``native`` draws from the
+        engine's chunk streams, whose realisations additionally depend
+        on the chunk size, hence ``"native/cs<chunk_size>"``.  The
+        campaign result store keys cached work on this string — two
+        configs with equal contracts (and equal seed/scale/trials) are
+        the *same work unit* regardless of how they are executed.
+        """
+        if self.backend == "native":
+            from repro.engine.plan import DEFAULT_CHUNK_SIZE
+            return f"native/cs{DEFAULT_CHUNK_SIZE}"
+        return "replay"
+
+
+# -- shared CLI plumbing ----------------------------------------------------
+# Both experiment-running CLIs (python -m repro.experiments and
+# python -m repro.campaign) accept the same work-defining knobs; they are
+# declared once here so the two parsers cannot drift apart.
+
+def positive_int(text: str) -> int:
+    """``argparse`` type for strictly positive integer flags."""
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def add_run_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the work-defining arguments (ids + scale/seed/trials/backend)."""
+    from repro.experiments.registry import id_span
+    parser.add_argument("experiments", nargs="*",
+                        help=f"experiment ids ({id_span()}) or 'all'")
+    parser.add_argument("--scale", choices=("quick", "standard", "full"),
+                        default="standard", help="problem-size scale")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
+                        help="master seed")
+    parser.add_argument("--trials", type=positive_int, default=None,
+                        help="override the per-configuration trial count "
+                             "(default: the scale's built-in count)")
+    parser.add_argument("--backend", choices=BACKEND_CHOICES, default="serial",
+                        help="trial execution backend: serial and batched are "
+                             "bit-identical (and share campaign cache keys "
+                             "with parallel); native uses the fast batched "
+                             "kernels on its own stream layout")
+
+
+def expand_ids(tokens: Sequence[str]) -> list[str]:
+    """CLI id list -> experiment ids (a lone ``"all"`` expands)."""
+    from repro.experiments.registry import all_ids
+    if len(tokens) == 1 and tokens[0].lower() == "all":
+        return list(all_ids())
+    return list(tokens)

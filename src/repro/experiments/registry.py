@@ -1,6 +1,6 @@
 """Experiment registry: id -> module mapping.
 
-Experiment ids (``"E1"``..``"E14"``, case-insensitive, ``"e04"``-style
+Experiment ids ({span}, case-insensitive, ``"e04"``-style
 zero padding accepted) resolve to their modules lazily so importing the
 registry stays cheap.
 """
@@ -12,7 +12,7 @@ from typing import Iterable
 
 from repro.util.validation import require
 
-__all__ = ["EXPERIMENTS", "normalize_id", "load_experiment", "all_ids"]
+__all__ = ["EXPERIMENTS", "normalize_id", "load_experiment", "all_ids", "id_span"]
 
 #: id -> (module path, one-line title)
 EXPERIMENTS: dict[str, tuple[str, str]] = {
@@ -69,3 +69,16 @@ def load_experiment(experiment_id: str):
 def all_ids() -> Iterable[str]:
     """All experiment ids in numeric order."""
     return sorted(EXPERIMENTS, key=lambda e: int(e[1:]))
+
+
+def id_span() -> str:
+    """The registry's id range (``"E1..E15"``), derived from
+    :data:`EXPERIMENTS` so documentation can never drift from it."""
+    ids = list(all_ids())
+    return f"{ids[0]}..{ids[-1]}"
+
+
+# The documented id range is computed, not hand-maintained.
+if __doc__ is not None:  # None under python -OO
+    _first, _last = id_span().split("..")
+    __doc__ = __doc__.format(span=f'``"{_first}"``..``"{_last}"``')

@@ -6,7 +6,16 @@ Usage::
     python -m repro.experiments all --scale full --output results/
     python -m repro.experiments E8 --trials 64 --backend native
     python -m repro.experiments E8 --backend parallel --jobs 4
+    python -m repro.experiments all --results-dir results/ --jobs 8
+    python -m repro.experiments all --results-dir results/ --force
     python -m repro.experiments --list
+
+With ``--results-dir`` the runner routes through the campaign layer
+(:mod:`repro.campaign`): completed experiments are checkpointed into a
+content-addressed store and later invocations fetch them instead of
+recomputing (``--force`` overrides); a killed ``all`` run resumes from
+whatever it already stored.  ``--jobs`` additionally fans independent
+experiment ids out over worker processes.
 """
 
 from __future__ import annotations
@@ -15,7 +24,12 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.experiments.common import BACKEND_CHOICES, DEFAULT_SEED, ExperimentConfig
+from repro.experiments.common import (
+    ExperimentConfig,
+    add_run_arguments,
+    expand_ids,
+    positive_int,
+)
 from repro.experiments.registry import EXPERIMENTS, all_ids, load_experiment
 from repro.util.timing import Timer, format_seconds
 
@@ -28,11 +42,48 @@ def run_one(experiment_id: str, config: ExperimentConfig):
     return module.run(config)
 
 
-def run_many(ids: list[str], config: ExperimentConfig, *, stream=None) -> int:
+def _run_many_campaign(ids: list[str], config: ExperimentConfig, *, stream,
+                       results_dir: Path | None, force: bool) -> int:
+    """Dispatch *ids* through the campaign scheduler (and its store)."""
+    from repro.campaign.plan import plan_experiments
+    from repro.campaign.query import print_experiment_report
+    from repro.campaign.scheduler import run_campaign
+    from repro.campaign.store import ResultStore
+    from repro.experiments.registry import normalize_id
+
+    store = None if results_dir is None else ResultStore(results_dir)
+    plan = plan_experiments(ids, config)
+    # Fan out only when --jobs asks for it (--results-dir alone stays
+    # in-process), and never when the parallelism already lives *inside*
+    # each experiment (--backend parallel) — nested pools otherwise.
+    jobs = 1 if config.backend == "parallel" else (config.jobs or 1)
+    report = run_campaign(plan, store, jobs=jobs, force=force)
+    # Print per *requested* id: the plan collapses duplicates, the
+    # serial loop doesn't, and the two paths must agree on output.
+    unit_for = {unit.spec["experiment"]: unit for unit in plan}
+    ordered = [unit_for[normalize_id(experiment_id)] for experiment_id in ids]
+    return print_experiment_report(report, ordered, stream=stream,
+                                   output_dir=config.output_dir)
+
+
+def run_many(ids: list[str], config: ExperimentConfig, *, stream=None,
+             results_dir: Path | None = None, force: bool = False) -> int:
     """Run several experiments, printing each table; returns the number of
-    experiments whose verdict is ``inconsistent``."""
+    experiments whose verdict is ``inconsistent``.
+
+    With *results_dir* (or with ``config.jobs`` > 1 on a non-parallel
+    backend) the ids dispatch through the campaign scheduler: stored
+    results are fetched instead of recomputed, fresh ones are
+    checkpointed as they land, and independent ids run across worker
+    processes.  Otherwise this is the plain serial loop.
+    """
     if stream is None:
         stream = sys.stdout  # resolved at call time (test harnesses swap stdout)
+    jobs_fan_out = (config.jobs is not None and config.jobs > 1
+                    and config.backend != "parallel" and len(ids) > 1)
+    if results_dir is not None or jobs_fan_out:
+        return _run_many_campaign(ids, config, stream=stream,
+                                  results_dir=results_dir, force=force)
     inconsistent = 0
     for experiment_id in ids:
         with Timer() as timer:
@@ -45,13 +96,6 @@ def run_many(ids: list[str], config: ExperimentConfig, *, stream=None) -> int:
     return inconsistent
 
 
-def _positive_int(text: str) -> int:
-    value = int(text)
-    if value < 1:
-        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
-    return value
-
-
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -59,24 +103,22 @@ def build_parser() -> argparse.ArgumentParser:
                      "'Information Spreading in Stationary Markovian Evolving "
                      "Graphs' (IPDPS 2009)."),
     )
-    parser.add_argument("experiments", nargs="*",
-                        help="experiment ids (E1..E14) or 'all'")
-    parser.add_argument("--scale", choices=("quick", "standard", "full"),
-                        default="standard", help="problem-size scale")
-    parser.add_argument("--seed", type=int, default=DEFAULT_SEED,
-                        help="master seed")
+    add_run_arguments(parser)
     parser.add_argument("--output", type=Path, default=None,
                         help="directory for .txt/.csv/.json artifacts")
-    parser.add_argument("--trials", type=_positive_int, default=None,
-                        help="override the per-configuration trial count "
-                             "(default: the scale's built-in count)")
-    parser.add_argument("--backend", choices=BACKEND_CHOICES, default="serial",
-                        help="trial execution backend: serial and batched are "
-                             "bit-identical; native uses the fast batched "
-                             "kernels; parallel fans out over processes")
-    parser.add_argument("--jobs", type=_positive_int, default=None,
-                        help="worker processes for --backend parallel "
-                             "(default: one per CPU)")
+    parser.add_argument("--jobs", type=positive_int, default=None,
+                        help="worker processes: for --backend parallel the "
+                             "trial chunks, otherwise the experiment ids "
+                             "themselves fan out (default: one per CPU)")
+    parser.add_argument("--results-dir", type=Path, default=None,
+                        help="campaign result store: completed experiments "
+                             "are cached here and reused on re-runs")
+    parser.add_argument("--resume", action="store_true", default=True,
+                        help="reuse results already in --results-dir "
+                             "(the default; kept explicit for scripts)")
+    parser.add_argument("--force", action="store_true",
+                        help="with --results-dir: recompute and overwrite "
+                             "cached results")
     parser.add_argument("--list", action="store_true", dest="list_experiments",
                         help="list experiments and exit")
     return parser
@@ -94,14 +136,15 @@ def main(argv: list[str] | None = None) -> int:
         print("no experiments given (use ids like E4, or 'all'; --list to see all)",
               file=sys.stderr)
         return 2
-    if len(args.experiments) == 1 and args.experiments[0].lower() == "all":
-        ids = list(all_ids())
-    else:
-        ids = args.experiments
+    if args.force and args.results_dir is None:
+        print("--force requires --results-dir", file=sys.stderr)
+        return 2
+    ids = expand_ids(args.experiments)
     config = ExperimentConfig(seed=args.seed, scale=args.scale,
                               output_dir=args.output, trials=args.trials,
                               backend=args.backend, jobs=args.jobs)
-    inconsistent = run_many(ids, config)
+    inconsistent = run_many(ids, config, results_dir=args.results_dir,
+                            force=args.force)
     return 1 if inconsistent else 0
 
 

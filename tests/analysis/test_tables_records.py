@@ -8,9 +8,18 @@ import numpy as np
 import pytest
 
 from repro.analysis.asciiplot import ascii_plot
-from repro.analysis.records import ExperimentResult, rows_to_csv, rows_to_json
+from repro.analysis.records import (
+    ExperimentResult,
+    rows_from_json,
+    rows_to_csv,
+    rows_to_json,
+)
 from repro.analysis.sweep import SweepPoint, parameter_grid, run_sweep
 from repro.analysis.tables import format_value, render_table
+
+
+def _sweep_double(point: SweepPoint) -> dict:
+    return {"double": point["n"] * 2}
 
 
 class TestFormatValue:
@@ -71,6 +80,26 @@ class TestSerialisation:
         assert data[0]["x"] == 3
         assert data[0]["y"] == "inf"
 
+    def test_rows_json_round_trip(self):
+        rows = [{"x": 1, "y": float("inf"), "z": -float("inf"),
+                 "law": "c*sqrt(log n)"},
+                {"x": 2, "y": 0.125, "z": float("nan"), "law": "n^0.375"}]
+        back = rows_from_json(rows_to_json(rows))
+        assert back[0] == rows[0]
+        assert back[1]["z"] != back[1]["z"]  # nan round-trips as nan
+        assert {k: v for k, v in back[1].items() if k != "z"} == \
+               {k: v for k, v in rows[1].items() if k != "z"}
+        # Stable under a second pass: the strings decode to the same floats.
+        assert rows_to_json(back) == rows_to_json(rows)
+
+    def test_rows_from_json_keeps_ordinary_strings(self):
+        (row,) = rows_from_json(rows_to_json([{"name": "infinite", "v": "x"}]))
+        assert row == {"name": "infinite", "v": "x"}
+
+    def test_rows_from_json_rejects_non_array(self):
+        with pytest.raises(ValueError):
+            rows_from_json('{"not": "an array"}')
+
 
 class TestExperimentResult:
     def make(self) -> ExperimentResult:
@@ -96,6 +125,30 @@ class TestExperimentResult:
         assert path.exists()
         assert (tmp_path / "e0.csv").exists()
         assert (tmp_path / "e0.json").exists()
+
+    def test_from_json_round_trip(self):
+        result = self.make()
+        back = ExperimentResult.from_json(result.to_json())
+        assert back == result
+        assert back.to_json() == result.to_json()
+        assert back.to_text() == result.to_text()
+
+    def test_from_json_restores_nonfinite_cells(self):
+        result = ExperimentResult("E0", "demo")
+        result.add_row(t=float("inf"), u=float("-inf"), v=float("nan"), w="ok")
+        back = ExperimentResult.from_json(result.to_json())
+        (row,) = back.rows
+        assert row["t"] == float("inf") and row["u"] == float("-inf")
+        assert row["v"] != row["v"]
+        assert row["w"] == "ok"
+        # Losslessness where it matters: a second dump is byte-identical.
+        assert back.to_json() == result.to_json()
+
+    def test_from_json_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            ExperimentResult.from_json("[1, 2]")
+        with pytest.raises(ValueError):
+            ExperimentResult.from_json('{"experiment_id": "E0"}')
 
 
 class TestAsciiPlot:
@@ -151,3 +204,38 @@ class TestSweep:
     def test_sweep_point_getitem(self):
         pt = SweepPoint(params={"n": 5}, seed=1, index=0)
         assert pt["n"] == 5
+
+    def test_run_sweep_with_store_matches_plain(self, tmp_path):
+        from repro.campaign.store import ResultStore
+        grid = parameter_grid(n=[1, 2, 3])
+        plain = run_sweep(_sweep_double, grid, seed=0)
+        store = ResultStore(tmp_path / "s")
+        cold = run_sweep(_sweep_double, grid, seed=0, store=store)
+        warm = run_sweep(_sweep_double, grid, seed=0, store=store)
+        assert cold == plain
+        assert warm == plain
+        assert len(store) == 3
+
+    def test_run_sweep_store_resumes_partial(self, tmp_path):
+        from repro.campaign.plan import plan_sweep
+        from repro.campaign.store import ResultStore
+        grid = parameter_grid(n=[1, 2, 3])
+        store = ResultStore(tmp_path / "s")
+        full = run_sweep(_sweep_double, grid, seed=0, store=store)
+        # Lose the middle point; the re-run recomputes only that one.
+        plan = plan_sweep(_sweep_double, grid, seed=0)
+        store.delete(plan.units[1].key)
+        assert run_sweep(_sweep_double, grid, seed=0, store=store) == full
+
+    def test_run_sweep_parallel_jobs_match_serial(self):
+        grid = parameter_grid(n=[1, 2, 3, 4])
+        assert run_sweep(_sweep_double, grid, seed=0, jobs=2) == \
+               run_sweep(_sweep_double, grid, seed=0)
+
+    def test_campaign_progress_receives_grid_indices(self, tmp_path):
+        from repro.campaign.store import ResultStore
+        seen = {}
+        run_sweep(_sweep_double, parameter_grid(n=[1, 2]), seed=0,
+                  store=ResultStore(tmp_path / "s"),
+                  progress=lambda i, t, params: seen.update({i: params["n"]}))
+        assert seen == {0: 1, 1: 2}

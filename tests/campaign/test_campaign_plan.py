@@ -1,0 +1,118 @@
+"""Tests for campaign planning and the cache-key contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sweep import parameter_grid
+from repro.campaign.plan import CampaignPlan, plan_experiments, plan_sweep
+from repro.campaign.store import ResultStore
+from repro.experiments.common import ExperimentConfig
+from repro.util.rng import derive_seed
+
+
+def _double(point):
+    return {"value": point["n"] * 2}
+
+
+class TestExperimentPlans:
+    def test_expansion(self):
+        plan = plan_experiments(["E1", "E4"], ExperimentConfig(scale="quick"))
+        assert [unit.label for unit in plan] == ["E1", "E4"]
+        assert all(unit.kind == "experiment" for unit in plan)
+        assert len(set(plan.keys())) == 2
+
+    def test_ids_normalise(self):
+        config = ExperimentConfig()
+        assert (plan_experiments(["e04"], config).keys()
+                == plan_experiments(["E4"], config).keys())
+
+    def test_duplicates_collapse(self):
+        config = ExperimentConfig()
+        assert len(plan_experiments(["E1", "e1", "E1"], config)) == 1
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(ValueError):
+            plan_experiments(["E99"], ExperimentConfig())
+
+    def test_spec_pins_the_work(self):
+        base = plan_experiments(["E4"], ExperimentConfig()).keys()
+        for other in (ExperimentConfig(scale="quick"),
+                      ExperimentConfig(seed=1),
+                      ExperimentConfig(trials=5)):
+            assert plan_experiments(["E4"], other).keys() != base
+
+
+class TestReplayContract:
+    """serial/batched/parallel share keys; native never aliases them."""
+
+    def test_replay_backends_share_keys(self):
+        keys = {
+            tuple(plan_experiments(["E8"], ExperimentConfig(backend=b)).keys())
+            for b in ("serial", "batched", "parallel")
+        }
+        assert len(keys) == 1
+
+    def test_native_gets_its_own_key(self):
+        replay = plan_experiments(["E8"], ExperimentConfig()).keys()
+        native = plan_experiments(
+            ["E8"], ExperimentConfig(backend="native")).keys()
+        assert replay != native
+
+    def test_jobs_never_affect_keys(self):
+        a = plan_experiments(["E8"], ExperimentConfig(backend="parallel",
+                                                      jobs=2)).keys()
+        b = plan_experiments(["E8"], ExperimentConfig(backend="parallel",
+                                                      jobs=8)).keys()
+        assert a == b
+
+    def test_stream_contract_strings(self):
+        assert ExperimentConfig().stream_contract() == "replay"
+        assert ExperimentConfig(backend="parallel").stream_contract() == "replay"
+        assert ExperimentConfig(backend="native").stream_contract() == "native/cs64"
+
+
+class TestSweepPlans:
+    def test_points_keep_run_sweep_seeds(self):
+        grid = parameter_grid(n=[4, 8, 16])
+        plan = plan_sweep(_double, grid, seed=11)
+        assert [unit.spec["seed"] for unit in plan] == [
+            derive_seed(11, i) for i in range(3)]
+
+    def test_sweep_id_namespaces_keys(self):
+        grid = parameter_grid(n=[4])
+        a = plan_sweep(_double, grid, seed=1, sweep_id="a").keys()
+        b = plan_sweep(_double, grid, seed=1, sweep_id="b").keys()
+        assert a != b
+
+    def test_default_sweep_id_is_the_function(self):
+        plan = plan_sweep(_double, parameter_grid(n=[4]), seed=1)
+        assert plan.units[0].spec["sweep"].endswith("._double")
+
+    def test_lambda_requires_explicit_sweep_id(self):
+        """Two lambdas share a qualname and would alias each other."""
+        grid = parameter_grid(n=[4])
+        with pytest.raises(ValueError, match="sweep_id"):
+            plan_sweep(lambda pt: {}, grid, seed=1)
+        plan = plan_sweep(lambda pt: {}, grid, seed=1, sweep_id="named")
+        assert plan.units[0].spec["sweep"] == "named"
+
+    def test_partial_requires_explicit_sweep_id(self):
+        """functools.partial has no qualname to derive a namespace from."""
+        import functools
+        partial = functools.partial(_double)
+        with pytest.raises(ValueError, match="sweep_id"):
+            plan_sweep(partial, parameter_grid(n=[4]), seed=1)
+
+    def test_pending_diffs_against_store(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_sweep(_double, parameter_grid(n=[4, 8]), seed=1)
+        assert plan.pending(store) == list(plan.units)
+        store.put(plan.units[0].spec, {"row": {}})
+        assert plan.pending(store) == [plan.units[1]]
+        assert plan.pending(store, force=True) == list(plan.units)
+        assert plan.pending(None) == list(plan.units)
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignPlan(())

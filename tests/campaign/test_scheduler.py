@@ -1,0 +1,150 @@
+"""Tests for the campaign scheduler: dispatch, caching, checkpoints."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.sweep import parameter_grid
+from repro.campaign.plan import plan_experiments, plan_sweep
+from repro.campaign.query import (
+    campaign_rows,
+    campaign_status,
+    fetch_result,
+    fetch_row,
+    read_manifest,
+)
+from repro.campaign.scheduler import execute_unit, run_campaign
+from repro.campaign.store import ResultStore
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.runner import run_one
+
+QUICK = ExperimentConfig(scale="quick")
+
+
+def _double(point):
+    return {"value": point["n"] * 2, "half_seed": point.seed % 1000}
+
+
+class TestExecuteUnit:
+    def test_experiment_unit_matches_run_one(self):
+        plan = plan_experiments(["E1"], QUICK)
+        outcome = execute_unit(dict(plan.units[0].payload))
+        direct = run_one("E1", QUICK)
+        assert outcome["result"] == json.loads(direct.to_json())
+        assert outcome["elapsed"] > 0
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown work-unit kind"):
+            execute_unit({"kind": "nope"})
+
+
+class TestCampaignCaching:
+    def test_cold_then_warm(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_experiments(["E1", "E13"], QUICK)
+        cold = run_campaign(plan, store)
+        assert len(cold.computed) == 2 and not cold.fetched
+        warm = run_campaign(plan, store)
+        assert len(warm.fetched) == 2 and not warm.computed
+        assert warm.cache_hit_rate == 1.0
+        assert warm.results == cold.results
+
+    def test_force_recomputes(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_experiments(["E1"], QUICK)
+        run_campaign(plan, store)
+        forced = run_campaign(plan, store, force=True)
+        assert len(forced.computed) == 1 and not forced.fetched
+
+    def test_no_store_still_runs(self):
+        plan = plan_experiments(["E1"], QUICK)
+        report = run_campaign(plan, None)
+        assert len(report.computed) == 1
+
+    def test_progress_callback_sees_every_unit(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_experiments(["E1", "E13"], QUICK)
+        run_campaign(plan, store)
+        seen = []
+        run_campaign(plan, store,
+                     progress=lambda done, total, unit, cached:
+                     seen.append((done, total, unit.label, cached)))
+        assert seen == [(1, 2, "E1", True), (2, 2, "E13", True)]
+
+    def test_parallel_jobs_match_serial(self, tmp_path):
+        serial_store = ResultStore(tmp_path / "serial")
+        parallel_store = ResultStore(tmp_path / "parallel")
+        plan = plan_experiments(["E1", "E7", "E13"], QUICK)
+        serial = run_campaign(plan, serial_store, jobs=1)
+        parallel = run_campaign(plan, parallel_store, jobs=2)
+        assert serial.results == parallel.results
+
+    def test_manifest_written(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_experiments(["E1"], QUICK)
+        run_campaign(plan, store)
+        manifest = read_manifest(store)
+        assert manifest["units"] == {"total": 1, "fetched": 0, "computed": 1}
+        assert manifest["plan"][0]["label"] == "E1"
+        assert "git_rev" in manifest
+
+
+class TestSweepCampaigns:
+    def test_rows_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_sweep(_double, parameter_grid(n=[4, 8]), seed=3)
+        run_campaign(plan, store)
+        rows = campaign_rows(store, plan)
+        assert rows == [fetch_row(store, unit) for unit in plan]
+        assert [row["value"] for row in rows] == [8, 16]
+        assert all(row["n"] * 2 == row["value"] for row in rows)
+
+    def test_warm_sweep_is_all_fetches(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_sweep(_double, parameter_grid(n=[4, 8]), seed=3)
+        run_campaign(plan, store)
+        warm = run_campaign(plan, store)
+        assert len(warm.fetched) == 2 and not warm.computed
+
+
+class TestQueryLayer:
+    def test_fetch_result_reconstructs(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_experiments(["E1"], QUICK)
+        run_campaign(plan, store)
+        stored = fetch_result(store, plan.units[0])
+        direct = run_one("E1", QUICK)
+        assert stored.experiment_id == "E1"
+        assert stored.to_text() == direct.to_text()
+
+    def test_fetch_result_requires_experiment_kind(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_sweep(_double, parameter_grid(n=[4]), seed=1)
+        run_campaign(plan, store)
+        with pytest.raises(ValueError):
+            fetch_result(store, plan.units[0])
+        with pytest.raises(ValueError):
+            fetch_row(store, plan_experiments(["E1"], QUICK).units[0])
+
+    def test_missing_result_raises(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_experiments(["E1"], QUICK)
+        with pytest.raises(ValueError, match="run the campaign first"):
+            fetch_result(store, plan.units[0])
+
+    def test_campaign_rows_for_experiments(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_experiments(["E1"], QUICK)
+        run_campaign(plan, store)
+        rows = campaign_rows(store, plan)
+        assert rows == fetch_result(store, plan.units[0]).rows
+
+    def test_status_table(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_experiments(["E1", "E13"], QUICK)
+        run_campaign(plan_experiments(["E1"], QUICK), store)
+        status = campaign_status(store, plan)
+        assert [row["cached"] for row in status] == [True, False]
+        assert status[0]["verdict"] == "consistent"
