@@ -2,6 +2,14 @@
 
 from repro.dynamics.adversarial import moving_hub_star, snapshot_diameter
 from repro.dynamics.base import EvolvingGraph, GraphSnapshot
+from repro.dynamics.batched import (
+    BatchedDynamics,
+    GenericBatchedDynamics,
+    batched_dynamics_for,
+    register_batched_dynamics,
+    registered_families,
+    uses_inherited,
+)
 from repro.dynamics.sequence import (
     GeneratedEvolvingGraph,
     SequenceEvolvingGraph,
@@ -19,6 +27,12 @@ from repro.dynamics.snapshots import AdjacencySnapshot, EdgeListSnapshot, snapsh
 __all__ = [
     "EvolvingGraph",
     "GraphSnapshot",
+    "BatchedDynamics",
+    "GenericBatchedDynamics",
+    "batched_dynamics_for",
+    "register_batched_dynamics",
+    "registered_families",
+    "uses_inherited",
     "AdjacencySnapshot",
     "EdgeListSnapshot",
     "snapshot_from_networkx",

@@ -70,6 +70,29 @@ class GraphSnapshot(abc.ABC):
     def edge_count(self) -> int:
         """Number of (undirected) edges."""
 
+    def neighborhood_masks(self, members: np.ndarray) -> np.ndarray:
+        """Row-wise :meth:`neighborhood_mask` for several member sets.
+
+        Parameters
+        ----------
+        members:
+            ``(S, n)`` boolean matrix; each row selects one set ``I``.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(S, n)`` boolean matrix whose row ``i`` equals
+            ``neighborhood_mask(members[i])`` — the batched query the
+            engine's multi-source flooding runs against one shared
+            snapshot.  The default loops the single-set query; concrete
+            snapshots may override with a batched implementation.
+        """
+        members = np.asarray(members, dtype=bool)
+        out = np.zeros_like(members)
+        for i in range(members.shape[0]):
+            out[i] = self.neighborhood_mask(members[i])
+        return out
+
     def neighbors_of(self, node: int) -> np.ndarray:
         """Sorted array of neighbors of a single *node*.
 

@@ -64,6 +64,22 @@ class AdjacencySnapshot(GraphSnapshot):
         touched = self._adj[:, members].any(axis=1)
         return touched & ~members
 
+    def neighborhood_masks(self, members: np.ndarray) -> np.ndarray:
+        members = np.asarray(members, dtype=bool)
+        require(members.ndim == 2 and members.shape[1] == self.num_nodes,
+                "members must be (S, n)")
+        out = np.zeros_like(members)
+        # One boolean row-gather + any-reduction per set: exact (pure
+        # boolean arithmetic, same result as the float32 matmul it
+        # replaces) and O(S * |I| * n) without materialising any float
+        # copy of the adjacency.  Symmetry makes row and column gathers
+        # interchangeable.
+        for i, row in enumerate(members):
+            if row.any():
+                out[i] = self._adj[row].any(axis=0)
+        out &= ~members
+        return out
+
     def degrees(self) -> np.ndarray:
         return self._adj.sum(axis=1, dtype=np.int64)
 

@@ -1,6 +1,7 @@
 """Edge-Markovian evolving graphs and their Erdős–Rényi substrate."""
 
 from repro.edgemeg.er import (
+    ErMEG,
     connected_components,
     connectivity_threshold,
     erdos_renyi_adjacency,
@@ -8,7 +9,16 @@ from repro.edgemeg.er import (
     is_connected,
     num_isolated,
 )
-from repro.edgemeg.independent import IndependentDynamicGraph, flood_time_independent
+from repro.edgemeg.independent import (
+    IndependentDynamicGraph,
+    IndependentMEG,
+    flood_time_independent,
+)
+from repro.edgemeg.kernels import (
+    EdgeBatchedDynamics,
+    SparseEdgeBatchedDynamics,
+    batched_triu_neighborhood,
+)
 from repro.edgemeg.meg import EdgeMEG
 from repro.edgemeg.sparse import SparseEdgeMEG, decode_pairs, encode_pairs, num_pairs
 from repro.edgemeg.worstcase import (
@@ -20,6 +30,8 @@ from repro.edgemeg.worstcase import (
 
 __all__ = [
     "EdgeMEG",
+    "ErMEG",
+    "IndependentMEG",
     "SparseEdgeMEG",
     "encode_pairs",
     "decode_pairs",
@@ -36,4 +48,7 @@ __all__ = [
     "measure_gap",
     "stationary_flood",
     "worstcase_flood",
+    "EdgeBatchedDynamics",
+    "SparseEdgeBatchedDynamics",
+    "batched_triu_neighborhood",
 ]

@@ -14,11 +14,13 @@ import math
 import numpy as np
 
 from repro.dynamics.snapshots import AdjacencySnapshot
+from repro.edgemeg.meg import EdgeMEG
 from repro.util.rng import SeedLike, as_generator
 from repro.util.unionfind import UnionFind
 from repro.util.validation import require, require_positive_int, require_probability
 
 __all__ = [
+    "ErMEG",
     "erdos_renyi_adjacency",
     "erdos_renyi_snapshot",
     "connected_components",
@@ -26,6 +28,27 @@ __all__ = [
     "num_isolated",
     "connectivity_threshold",
 ]
+
+
+class ErMEG(EdgeMEG):
+    """Edge-MEG parameterised by its stationary density ``p_hat``.
+
+    ``ErMEG(n, p_hat, q)`` is exactly ``EdgeMEG(n, p, q)`` with the
+    birth-rate solved from ``p_hat = p / (p + q)`` — the natural
+    constructor when an experiment pins the stationary ``G(n, p_hat)``
+    law (the quantity Theorem 4.3's bound depends on) and sweeps the
+    persistence ``q``.  Being a plain subclass, it inherits the edge
+    family's batched kernels through the registry's MRO dispatch.
+    """
+
+    def __init__(self, n: int, p_hat: float, q: float) -> None:
+        p_hat = require_probability(p_hat, "p_hat", open_right=True)
+        q = require_probability(q, "q", open_left=True)
+        require(p_hat * (1.0 + q) <= 1.0 + 1e-12,
+                f"no birth-rate p <= 1 realises stationary density "
+                f"p_hat={p_hat:g} at death-rate q={q:g} "
+                f"(need p_hat <= 1/(1+q) = {1.0 / (1.0 + q):.4g})")
+        super().__init__(n, min(p_hat * q / (1.0 - p_hat), 1.0), q)
 
 
 def erdos_renyi_adjacency(n: int, p: float, *, seed: SeedLike = None) -> np.ndarray:

@@ -29,10 +29,28 @@ import numpy as np
 from repro.dynamics.base import EvolvingGraph
 from repro.dynamics.snapshots import AdjacencySnapshot
 from repro.edgemeg.er import erdos_renyi_adjacency
+from repro.edgemeg.meg import EdgeMEG
 from repro.util.rng import SeedLike, as_generator
 from repro.util.validation import require, require_positive_int, require_probability
 
-__all__ = ["IndependentDynamicGraph", "flood_time_independent"]
+__all__ = ["IndependentMEG", "IndependentDynamicGraph", "flood_time_independent"]
+
+
+class IndependentMEG(EdgeMEG):
+    """The memoryless edge-MEG ``M(n, p, 1 - p)`` as an ``EdgeMEG`` subclass.
+
+    With ``q = 1 - p`` every edge chain forgets its state, so each
+    snapshot is an independent ``G(n, p)`` draw.  Unlike
+    :class:`IndependentDynamicGraph` (a standalone implementation that
+    redraws a dense adjacency and runs on the engine's generic path),
+    this subclass keeps the ``EdgeMEG`` state layout, so the
+    batched-kernel registry resolves it to the edge family's kernels and
+    it rides the engine fast paths like its parent.
+    """
+
+    def __init__(self, n: int, p: float) -> None:
+        p = require_probability(p, "p")
+        super().__init__(n, p, 1.0 - p)
 
 
 class IndependentDynamicGraph(EvolvingGraph):

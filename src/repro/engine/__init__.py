@@ -6,20 +6,24 @@ multipliers into batch dimensions:
 * :class:`~repro.engine.plan.SimulationPlan` — declarative description
   of a trial batch (model, trials, sources, budget, deterministic seed
   tree).
-* :mod:`~repro.engine.batch` — vectorised kernels advancing ``B``
-  trials as a ``(B, n)`` informed matrix, with exact fast paths for
-  ``EdgeMEG`` / ``SparseEdgeMEG`` / ``GeometricMEG`` and a per-trial
-  fallback for arbitrary evolving graphs.
+* :mod:`~repro.engine.batch` — model-agnostic batched bookkeeping
+  advancing ``B`` trials as a ``(B, n)`` informed matrix; the
+  model-family kernels plug in through the
+  :class:`~repro.dynamics.batched.BatchedDynamics` registry (providers
+  live next to their models: ``repro.edgemeg.kernels``,
+  ``repro.geometric.kernels``, ``repro.mobility.kernels``), with a
+  per-trial snapshot fallback for unregistered families.
 * :func:`~repro.engine.executor.run_plan` — ``serial`` / ``batched`` /
   ``parallel`` execution behind one call.
 * :class:`~repro.engine.results.TrialEnsemble` — column-wise results
   that plug into :mod:`repro.analysis`.
 
-See DESIGN.md ("The simulation engine") for the architecture and the
-two seed-tree contracts (bit-identical *replay* vs fast *native*).
+See DESIGN.md ("The simulation engine") for the architecture, the
+kernel protocol, and the two seed-tree contracts (bit-identical
+*replay* vs fast *native*).
 """
 
-from repro.engine.batch import batched_triu_neighborhood, run_multisource_replay
+from repro.engine.batch import run_multisource_replay
 from repro.engine.executor import BACKENDS, default_jobs, run_plan
 from repro.engine.plan import RNG_MODES, SimulationPlan
 from repro.engine.results import TrialEnsemble
@@ -29,7 +33,6 @@ __all__ = [
     "RNG_MODES",
     "SimulationPlan",
     "TrialEnsemble",
-    "batched_triu_neighborhood",
     "default_jobs",
     "run_multisource_replay",
     "run_plan",

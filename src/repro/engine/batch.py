@@ -1,26 +1,25 @@
-"""Batched flooding kernels.
+"""Batched flooding bookkeeping over pluggable model kernels.
 
 This module advances **B independent flooding trials simultaneously**,
-holding the informed sets as a ``(B, n)`` boolean matrix and touching
-each model family through the cheapest exact representation it offers:
-
-* ``EdgeMEG`` — flat upper-triangle edge-state vectors, stacked to a
-  ``(B, P)`` matrix; the ``N(I)`` query is two segmented
-  ``logical_or.reduceat`` sweeps over the triangle (no per-trial
-  adjacency materialisation, no snapshot objects).
-* ``SparseEdgeMEG`` — alive-edge lists; the query is two gathers of the
-  informed mask at the edge endpoints plus a scatter.
-* ``GeometricMEG`` — walker index arrays; positions of all trials step
-  through one vectorised lattice call in native mode.
-* anything else — per-trial ``snapshot().neighborhood_mask`` fallback,
-  still with batched bookkeeping.
+holding the informed sets as a ``(B, n)`` boolean matrix.  Everything
+model-specific — the exact ``N(I)`` query against a live trial model,
+the fully batched native population kernels — is obtained through the
+:class:`~repro.dynamics.batched.BatchedDynamics` registry
+(:func:`~repro.dynamics.batched.batched_dynamics_for`); this module owns
+only the model-agnostic bookkeeping: informed matrices, count
+histories, truncation, multi-source seeding, and chunk assembly.  It
+imports **no concrete model classes** — model packages register their
+kernel providers (``repro.edgemeg.kernels``, ``repro.geometric.kernels``,
+``repro.mobility.kernels``) and any unregistered family runs on the
+generic snapshot fallback.
 
 Two stream layouts are supported (see :mod:`repro.engine.plan`):
 *replay* advances each trial's own generator exactly like the serial
 reference, making every result bit-identical to
 :func:`repro.core.flooding.flood`; *native* draws from one chunk-level
-generator in batch order, enabling the sparse churn kernel that
-processes ``O(alive edges)`` instead of ``O(n^2)`` work per step.
+generator in batch order, enabling the vectorised population kernels
+that the providers implement (sparse edge churn, shared lattice steps,
+stacked mobility kinematics).
 """
 
 from __future__ import annotations
@@ -29,145 +28,34 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.flooding import _resolve_sources, resolve_max_steps
+from repro.core.flooding import _resolve_sources
 from repro.dynamics.base import EvolvingGraph
-from repro.dynamics.snapshots import AdjacencySnapshot
-from repro.edgemeg.meg import EdgeMEG
-from repro.edgemeg.sparse import SparseEdgeMEG, decode_pairs
+from repro.dynamics.batched import BatchedDynamics, batched_dynamics_for
 from repro.engine.results import TrialEnsemble
-from repro.geometric.meg import GeometricMEG
-from repro.geometric.neighbors import within_radius_of_members
 from repro.util.validation import require, require_node
 
 __all__ = [
-    "batched_triu_neighborhood",
     "run_chunk",
     "run_multisource_replay",
 ]
-
-#: Above this stationary density the sparse churn kernel loses to the
-#: dense one (rejection sampling acceptance degrades and the alive set
-#: is a large fraction of all pairs anyway).
-_SPARSE_DENSITY_LIMIT = 0.25
-
-
-# ---------------------------------------------------------------------------
-# triangle geometry cache + batched neighborhood query
-# ---------------------------------------------------------------------------
-
-class _TriuCache:
-    """Segment offsets of the strict upper triangle of an ``n``-node graph,
-    row-major (pairs grouped by ``u``) and column-grouped (by ``v``)."""
-
-    __slots__ = ("n", "num_pairs", "iu0", "iu1", "row_starts", "col_perm",
-                 "col_starts")
-
-    def __init__(self, n: int) -> None:
-        self.n = n
-        iu0, iu1 = np.triu_indices(n, k=1)
-        self.iu0 = iu0.astype(np.int64)
-        self.iu1 = iu1.astype(np.int64)
-        self.num_pairs = self.iu0.shape[0]
-        # Row u holds the n-1-u pairs (u, u+1..n-1); the last row (u=n-1)
-        # is empty and its start index equals P, which the padded-column
-        # trick in batched_triu_neighborhood resolves to False.
-        counts_u = (n - 1) - np.arange(n, dtype=np.int64)
-        self.row_starts = np.concatenate(([0], np.cumsum(counts_u)))[:n]
-        # Column v holds the v pairs (0..v-1, v); v=0 is empty (fixed up
-        # explicitly after the reduceat).
-        self.col_perm = np.argsort(self.iu1, kind="stable")
-        counts_v = np.bincount(self.iu1, minlength=n)
-        self.col_starts = np.concatenate(([0], np.cumsum(counts_v)))[:n]
-
-
-_TRIU_CACHES: dict[int, _TriuCache] = {}
-
-#: Each cache entry holds three int64 arrays of length n(n-1)/2; a small
-#: LRU bound keeps a size sweep from pinning gigabytes after it finishes.
-_TRIU_CACHE_LIMIT = 8
-
-
-def _triu_cache(n: int) -> _TriuCache:
-    cache = _TRIU_CACHES.pop(n, None)
-    if cache is None:
-        cache = _TriuCache(n)
-        while len(_TRIU_CACHES) >= _TRIU_CACHE_LIMIT:
-            _TRIU_CACHES.pop(next(iter(_TRIU_CACHES)))
-    _TRIU_CACHES[n] = cache  # reinsert: dict order doubles as LRU order
-    return cache
-
-
-def batched_triu_neighborhood(states: np.ndarray, informed: np.ndarray,
-                              ) -> np.ndarray:
-    """``N(I)`` for B graphs at once, from flat edge-state vectors.
-
-    Parameters
-    ----------
-    states:
-        ``(B, P)`` boolean edge states aligned with
-        ``numpy.triu_indices(n, 1)`` (the :class:`EdgeMEG` layout).
-    informed:
-        ``(B, n)`` boolean informed masks.
-
-    Returns
-    -------
-    numpy.ndarray
-        ``(B, n)`` boolean masks of nodes outside ``I`` adjacent to
-        ``I`` — exactly :meth:`AdjacencySnapshot.neighborhood_mask`
-        per row, computed without materialising adjacency matrices.
-        Pure boolean arithmetic: bit-identical to the snapshot path.
-    """
-    b, num_pairs = states.shape
-    n = informed.shape[1]
-    cache = _triu_cache(n)
-    require(num_pairs == cache.num_pairs, "states width must be n(n-1)/2")
-    pad = np.zeros((b, 1), dtype=bool)
-    # Node u is reached through a present pair (u, v) with v informed.
-    edge_hits = np.concatenate([states & informed[:, cache.iu1], pad], axis=1)
-    reach = np.logical_or.reduceat(edge_hits, cache.row_starts, axis=1)
-    # Node v is reached through a present pair (u, v) with u informed.
-    edge_hits = states & informed[:, cache.iu0]
-    edge_hits = np.concatenate([edge_hits[:, cache.col_perm], pad], axis=1)
-    reach_v = np.logical_or.reduceat(edge_hits, cache.col_starts, axis=1)
-    reach_v[:, 0] = False  # column group v=0 is empty; reduceat can't see that
-    reach |= reach_v
-    reach &= ~informed
-    return reach
 
 
 # ---------------------------------------------------------------------------
 # replay kernel: per-trial model streams, batched bookkeeping
 # ---------------------------------------------------------------------------
 
-def _fresh_masks(models: list[EvolvingGraph], informed: np.ndarray,
-                 act: list[int]) -> np.ndarray:
-    """``N(I)`` masks of the *act* trials, dispatched per model family.
+def _fresh_masks(kernel: BatchedDynamics, models: list[EvolvingGraph],
+                 informed: np.ndarray, act: list[int]) -> np.ndarray:
+    """``N(I)`` masks of the *act* trials through the family kernel.
 
-    Every branch is exact (pure boolean / identical floating-point
-    call path), so replay results stay bit-identical to serial
-    :func:`~repro.core.flooding.flood`.
+    Every provider's replay query is exact (bit-identical to the
+    snapshot path by the protocol contract), so replay results stay
+    bit-identical to serial :func:`~repro.core.flooding.flood`.
     """
     n = informed.shape[1]
     out = np.zeros((len(act), n), dtype=bool)
     for j, b in enumerate(act):
-        model = models[b]
-        row = informed[b]
-        if type(model) is EdgeMEG:
-            # Row-at-a-time keeps the working set inside the cache; a
-            # (B, P) stack measures slower than B single-row sweeps.
-            out[j] = batched_triu_neighborhood(model._states[None],
-                                               row[None])[0]
-        elif type(model) is SparseEdgeMEG:
-            u, v = decode_pairs(model._alive, n)
-            mask = np.zeros(n, dtype=bool)
-            mask[v[row[u]]] = True
-            mask[u[row[v]]] = True
-            out[j] = mask & ~row
-        elif type(model) is GeometricMEG:
-            out[j] = within_radius_of_members(
-                model.walkers.positions(), row, model.radius)
-        else:
-            out[j] = model.snapshot().neighborhood_mask(row)
+        out[j] = kernel.replay_neighborhood(models[b], informed[b])
     return out
 
 
@@ -181,6 +69,7 @@ def _run_models_loop(models: list[EvolvingGraph],
     Mirrors the update order of :func:`repro.core.flooding.flood`
     exactly (conditional recount, post-increment time, one step budget
     shared by every trial) so times, histories and masks coincide."""
+    kernel = batched_dynamics_for(models[0])
     n = models[0].num_nodes
     num = len(models)
     informed = np.zeros((num, n), dtype=bool)
@@ -196,7 +85,7 @@ def _run_models_loop(models: list[EvolvingGraph],
             completed[i] = True  # single-node graphs complete at t=0
     t = 0
     while act and t < budget:
-        fresh = _fresh_masks(models, informed, act)
+        fresh = _fresh_masks(kernel, models, informed, act)
         t += 1
         still = []
         for j, b in enumerate(act):
@@ -242,7 +131,7 @@ def _run_chunk_replay(plan, streams: list[np.random.Generator],
 
 
 # ---------------------------------------------------------------------------
-# native kernels: one chunk stream, fully batched draws
+# native path: one chunk stream, kernels from the provider registry
 # ---------------------------------------------------------------------------
 
 def _chunk_sources(plan, rng: np.random.Generator, count: int,
@@ -252,43 +141,6 @@ def _chunk_sources(plan, rng: np.random.Generator, count: int,
         return [(int(s),) for s in drawn]
     fixed = _resolve_sources(plan.source, n)
     return [fixed] * count
-
-
-def _sample_absent_pairs(rng: np.random.Generator, presence: np.ndarray,
-                         need: np.ndarray, num_pairs: int) -> np.ndarray:
-    """Distinct uniform pair codes outside each trial's alive set.
-
-    ``need[b]`` codes are sampled for trial ``b`` against the flat
-    ``(B * P,)`` *presence* bitmap (which is updated in place as codes
-    are accepted).  Exact-deficit rejection rounds: every round draws
-    precisely the missing count per trial and keeps the distinct
-    non-colliding values, so no biased trimming is ever needed.
-
-    Returns the accepted flat keys (``trial * P + code``) in acceptance
-    order — sorted within each rejection round, not globally.
-    """
-    have = np.zeros(need.shape[0], dtype=np.int64)
-    parts = []
-    while True:
-        deficit = need - have
-        todo = np.flatnonzero(deficit > 0)
-        if todo.size == 0:
-            break
-        per = deficit[todo]
-        cand = rng.integers(0, num_pairs, size=int(per.sum()))
-        cand += np.repeat(todo * num_pairs, per)
-        cand = cand[~presence[cand]]
-        if cand.size:
-            cand = np.sort(cand)
-            first = np.ones(cand.size, dtype=bool)
-            first[1:] = cand[1:] != cand[:-1]
-            cand = cand[first]
-            presence[cand] = True
-            have += np.bincount(cand // num_pairs, minlength=need.shape[0])
-            parts.append(cand)
-    if not parts:
-        return np.empty(0, dtype=np.int64)
-    return np.concatenate(parts) if len(parts) > 1 else parts[0]
 
 
 def _finish_native(n, sources, times, completed, count_log, informed,
@@ -307,151 +159,47 @@ def _finish_native(n, sources, times, completed, count_log, informed,
     )
 
 
-def _run_chunk_native_edge(plan, model, rng: np.random.Generator,
-                           count: int, budget: int) -> TrialEnsemble:
-    """Batched Bernoulli edge churn for ``EdgeMEG`` / ``SparseEdgeMEG``.
-
-    Sparse regimes keep the alive edges of all trials in flat arrays
-    plus a presence bitmap — ``O(alive + births)`` work per step instead
-    of ``O(n^2)`` per trial; dense regimes fall back to one ``(B, P)``
-    uniform draw per step (still one vectorised call for the whole
-    batch).  Exact process law either way: per-edge two-state chains
-    with stationary initial states.
-    """
-    n = model.num_nodes
-    p, q, p_hat = model.p, model.q, model.p_hat
-    cache = _triu_cache(n)
-    num_pairs = cache.num_pairs
+def _run_chunk_native(plan, kernel: BatchedDynamics,
+                      rng: np.random.Generator, count: int,
+                      budget: int) -> TrialEnsemble:
+    """The generic native loop: model-agnostic bookkeeping around the
+    provider's ``batch_init`` / ``batch_neighborhood`` / ``batch_step``
+    hooks.  The update order matches the serial reference (inform
+    across the time-``t`` graphs, then advance the survivors), so every
+    family's native results share the semantics of serial ``flood`` —
+    as different realisations of the same process law."""
+    n = kernel.num_nodes
     sources = _chunk_sources(plan, rng, count, n)
+    state = kernel.batch_init(count, rng)
 
     informed = np.zeros((count, n), dtype=bool)
     for i, src in enumerate(sources):
         informed[i, list(src)] = True
-    flat_informed = informed.ravel()
     counts = informed.sum(axis=1)
     times = np.zeros(count, dtype=np.int64)
     completed = counts == n
     active = ~completed
     count_log = [counts.copy()]
 
-    dense = p_hat > _SPARSE_DENSITY_LIMIT or p > _SPARSE_DENSITY_LIMIT
-    if dense:
-        states = rng.random((count, num_pairs)) < p_hat
-    else:
-        presence = np.zeros(count * num_pairs, dtype=bool)
-        need = rng.binomial(num_pairs, p_hat, size=count)
-        key = _sample_absent_pairs(rng, presence, need, num_pairs)
-        tid = key // num_pairs
-        code = key - tid * num_pairs
-        eu, ev = decode_pairs(code, n)
-        gu = tid * n + eu
-        gv = tid * n + ev
-
     t = 0
     while active.any() and t < budget:
         act = np.flatnonzero(active)
         # -- inform across the edges of the time-t graphs ------------------
-        if dense:
-            fresh = batched_triu_neighborhood(states[act], informed[act])
-            hit_rows = act[fresh.any(axis=1)]
-            informed[act] |= fresh
-        else:
-            fu = flat_informed[gu]
-            fv = flat_informed[gv]
-            to_v = fu & ~fv
-            to_u = fv & ~fu
-            flat_informed[gv[to_v]] = True
-            flat_informed[gu[to_u]] = True
-            hit_rows = act
+        fresh = kernel.batch_neighborhood(state, informed, act)
+        informed[act] |= fresh
         t += 1
-        counts[hit_rows] = informed[hit_rows].sum(axis=1)
+        counts[act] = informed[act].sum(axis=1)
         count_log.append(counts.copy())
         newly_done = active & (counts == n)
         if newly_done.any():
             times[newly_done] = t
             completed |= newly_done
             active &= ~newly_done
-            if not dense:
-                keep = active[tid]
-                presence[key[~keep]] = False
-                key, tid, gu, gv = key[keep], tid[keep], gu[keep], gv[keep]
+            kernel.batch_retire(state, active)
         if not active.any() or t >= budget:
             break
-        # -- churn the edge chains of the still-active trials --------------
-        if dense:
-            act = np.flatnonzero(active)
-            u = rng.random((act.shape[0], num_pairs))
-            states[act] = np.where(states[act], u >= q, u < p)
-        else:
-            # Births exclude the pre-death alive set (each pair is an
-            # independent two-state chain: a pair alive at time t cannot
-            # be (re)born into time t+1, it can only survive).
-            alive_per = np.bincount(tid, minlength=count)
-            births = rng.binomial(np.maximum(num_pairs - alive_per, 0), p)
-            births[~active] = 0
-            born = _sample_absent_pairs(rng, presence, births, num_pairs)
-            if key.size:
-                survive = rng.random(key.size) >= q
-                presence[key[~survive]] = False
-                key, tid, gu, gv = (key[survive], tid[survive],
-                                    gu[survive], gv[survive])
-            if born.size:
-                btid = born // num_pairs
-                bcode = born - btid * num_pairs
-                bu, bv = decode_pairs(bcode, n)
-                key = np.concatenate([key, born])
-                tid = np.concatenate([tid, btid])
-                gu = np.concatenate([gu, btid * n + bu])
-                gv = np.concatenate([gv, btid * n + bv])
-    times[active] = t
-    return _finish_native(n, sources, times, completed, count_log, informed,
-                          plan.record_history, plan.record_informed)
-
-
-def _run_chunk_native_geometric(plan, model, rng: np.random.Generator,
-                                count: int, budget: int) -> TrialEnsemble:
-    """Batched geometric-MEG trials: the walker populations of every
-    trial share one flat index array, so the stationary initialisation
-    and every move step are single vectorised lattice calls."""
-    n = model.num_nodes
-    lattice = model.lattice
-    radius = model.radius
-    sources = _chunk_sources(plan, rng, count, n)
-
-    ix, iy = lattice.sample_stationary_indices(count * n, seed=rng)
-    ix = ix.reshape(count, n)
-    iy = iy.reshape(count, n)
-    informed = np.zeros((count, n), dtype=bool)
-    for i, src in enumerate(sources):
-        informed[i, list(src)] = True
-    counts = informed.sum(axis=1)
-    times = np.zeros(count, dtype=np.int64)
-    completed = counts == n
-    active = ~completed
-    count_log = [counts.copy()]
-
-    t = 0
-    while active.any() and t < budget:
-        act = np.flatnonzero(active)
-        for b in act:
-            fresh = within_radius_of_members(
-                lattice.to_coordinates(ix[b], iy[b]), informed[b], radius)
-            if fresh.any():
-                informed[b] |= fresh
-                counts[b] = int(informed[b].sum())
-        t += 1
-        count_log.append(counts.copy())
-        newly_done = active & (counts == n)
-        times[newly_done] = t
-        completed |= newly_done
-        active &= ~newly_done
-        if not active.any() or t >= budget:
-            break
-        act = np.flatnonzero(active)
-        moved_x, moved_y = lattice.step_indices(
-            ix[act].ravel(), iy[act].ravel(), rng=rng)
-        ix[act] = moved_x.reshape(act.shape[0], n)
-        iy[act] = moved_y.reshape(act.shape[0], n)
+        # -- advance the still-active trial populations --------------------
+        kernel.batch_step(state, rng, active)
     times[active] = t
     return _finish_native(n, sources, times, completed, count_log, informed,
                           plan.record_history, plan.record_informed)
@@ -459,8 +207,9 @@ def _run_chunk_native_geometric(plan, model, rng: np.random.Generator,
 
 def _run_chunk_native_generic(plan, rng: np.random.Generator,
                               count: int, budget: int) -> TrialEnsemble:
-    """Native fallback for arbitrary evolving graphs: per-trial model
-    stepping with generators spawned from the chunk stream."""
+    """Native fallback for families without batched population kernels:
+    per-trial model stepping with generators spawned from the chunk
+    stream (the replay-style loop, minus the replay stream layout)."""
     models = [plan.make_model() for _ in range(count)]
     n = models[0].num_nodes
     sources = _chunk_sources(plan, rng, count, n)
@@ -479,7 +228,8 @@ def run_chunk(payload: dict) -> TrialEnsemble:
 
     *payload* carries the plan, the trial range, and the pre-derived
     randomness (replay generator pairs or the native chunk seed), so a
-    worker process needs nothing beyond this dict.
+    worker process needs nothing beyond this dict.  Kernel selection
+    goes through the :class:`BatchedDynamics` registry.
     """
     plan = payload["plan"]
     start, stop = payload["range"]
@@ -489,30 +239,15 @@ def run_chunk(payload: dict) -> TrialEnsemble:
         return _run_chunk_replay(plan, payload["streams"], count, budget)
     rng = np.random.default_rng(payload["chunk_seed"])
     template = plan.make_model()
-    if type(template) in (EdgeMEG, SparseEdgeMEG):
-        return _run_chunk_native_edge(plan, template, rng, count, budget)
-    if type(template) is GeometricMEG:
-        return _run_chunk_native_geometric(plan, template, rng, count, budget)
+    kernel = batched_dynamics_for(template)
+    if kernel.native_capable:
+        return _run_chunk_native(plan, kernel, rng, count, budget)
     return _run_chunk_native_generic(plan, rng, count, budget)
 
 
 # ---------------------------------------------------------------------------
 # multi-source flooding of a single replayed realisation
 # ---------------------------------------------------------------------------
-
-def _multisource_fresh(graph: EvolvingGraph, informed: np.ndarray) -> np.ndarray:
-    """``N(I)`` for several informed rows on one shared snapshot."""
-    snap = graph.snapshot()
-    if isinstance(snap, AdjacencySnapshot):
-        # Exact: 0/1 float32 products, integer-valued sums below 2**24.
-        adjacency = snap.adjacency.astype(np.float32)
-        touched = (informed.astype(np.float32) @ adjacency) > 0
-        return touched & ~informed
-    out = np.zeros_like(informed)
-    for i in range(informed.shape[0]):
-        out[i] = snap.neighborhood_mask(informed[i])
-    return out
-
 
 def run_multisource_replay(graph: EvolvingGraph, sources: Sequence[int],
                            replay_seed: int, budget: int) -> int:
@@ -521,7 +256,11 @@ def run_multisource_replay(graph: EvolvingGraph, sources: Sequence[int],
     The serial definition replays the same seed once per source; here
     the realisation is advanced exactly once while every source floods
     as one row of an ``(S, n)`` informed matrix.  Bit-identical to the
-    serial replay: same graph sequence, same per-row update rule.
+    serial replay: same graph sequence, same per-row update rule.  The
+    shared snapshot answers all rows through its batched
+    :meth:`~repro.dynamics.base.GraphSnapshot.neighborhood_masks` query
+    (a boolean row-gather for adjacency snapshots — no per-row float
+    re-materialisation).
 
     Raises
     ------
@@ -543,7 +282,7 @@ def run_multisource_replay(graph: EvolvingGraph, sources: Sequence[int],
     t = 0
     while active.any() and t < budget:
         act = np.flatnonzero(active)
-        fresh = _multisource_fresh(graph, informed[act])
+        fresh = graph.snapshot().neighborhood_masks(informed[act])
         informed[act] |= fresh
         t += 1
         counts[act] = informed[act].sum(axis=1)

@@ -8,8 +8,10 @@ chunked multiprocessing fan-out.
     trial on a single model instance, with the legacy stream layout.
     Exists so every other backend has a bit-comparable baseline.
 ``batched``
-    Chunks of trials advance together through the vectorised kernels of
-    :mod:`repro.engine.batch`, in this process.
+    Chunks of trials advance together through the batched bookkeeping of
+    :mod:`repro.engine.batch` and the model family's registered
+    :class:`~repro.dynamics.batched.BatchedDynamics` kernels, in this
+    process.
 ``parallel``
     The same chunks, fanned out to worker processes.  Workers receive
     a self-contained payload (plan + pre-derived chunk randomness) and

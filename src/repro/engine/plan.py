@@ -19,8 +19,9 @@ plan's single seed through one of two documented stream layouts:
     One generator per fixed-size *chunk* of trials, derived via
     :func:`repro.util.rng.derive_seed` from the chunk's starting trial
     index.  Kernels draw from the chunk stream in batch order, which
-    unlocks the fast vectorised churn kernels in
-    :mod:`repro.engine.batch`.  Results are deterministic in
+    unlocks the fast batched population kernels the model families
+    register through :mod:`repro.dynamics.batched`.  Results are
+    deterministic in
     ``(seed, trials, chunk_size)`` and independent of the worker count
     (the parallel executor distributes whole chunks), but are *different
     realisations* from the replay layout — identical in distribution,

@@ -12,6 +12,12 @@ report
 alongside the paper's own lattice random-walk model as the reference
 row.  Shape criterion: every model's ratio lies within a constant band
 of the lattice model's.
+
+All four mobility models run through the engine's batched kernels
+(``repro.mobility.kernels`` registers them via the
+:class:`~repro.dynamics.batched.BatchedDynamics` registry), so
+``--backend batched`` stays bit-identical to serial while ``native``
+and ``parallel`` unlock the stacked-population fast paths.
 """
 
 from __future__ import annotations

@@ -6,9 +6,11 @@ from repro.geometric.connectivity import (
     component_report,
     is_geometric_connected,
 )
+from repro.geometric.kernels import GeometricBatchedDynamics
 from repro.geometric.lattice import Lattice, disc_offsets
 from repro.geometric.meg import GeometricMEG, GeometricSnapshot
 from repro.geometric.neighbors import (
+    batched_within_radius,
     brute_force_within_radius,
     radius_degrees,
     radius_edges,
@@ -29,7 +31,9 @@ __all__ = [
     "CellStatistics",
     "cell_count",
     "within_radius_of_members",
+    "batched_within_radius",
     "radius_edges",
     "radius_degrees",
     "brute_force_within_radius",
+    "GeometricBatchedDynamics",
 ]

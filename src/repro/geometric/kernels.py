@@ -1,0 +1,93 @@
+"""Batched flooding kernels of the geometric-MEG family.
+
+Implements the :class:`~repro.dynamics.batched.BatchedDynamics`
+protocol for :class:`~repro.geometric.meg.GeometricMEG`:
+
+* **replay** — the exact radius query straight off each model's live
+  walker positions (the same
+  :func:`~repro.geometric.neighbors.within_radius_of_members` call the
+  snapshot would make, minus the snapshot object).
+* **native** — the walker populations of all ``B`` trials share one
+  ``(B, n)`` lattice-index array: the stationary initialisation and
+  every move step are single vectorised lattice calls, and the ``N(I)``
+  query is the shared cell-grid query over all active trials
+  (:func:`~repro.geometric.neighbors.batched_within_radius`).
+
+Subclass gating mirrors the edge family: the factory accepts any
+subclass that inherits ``snapshot`` (positions stay authoritative for
+the replay query) and requires un-overridden ``reset``/``step`` for the
+native kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dynamics.batched import (
+    BatchedDynamics,
+    register_batched_dynamics,
+    uses_inherited,
+)
+from repro.geometric.meg import GeometricMEG
+from repro.geometric.neighbors import batched_within_radius, within_radius_of_members
+
+__all__ = ["GeometricBatchedDynamics"]
+
+
+class _WalkerState:
+    """Lattice indices of all trial populations, shape ``(B, n)`` each."""
+
+    __slots__ = ("ix", "iy")
+
+
+class GeometricBatchedDynamics(BatchedDynamics):
+    """Kernels for :class:`GeometricMEG` (lattice walkers + radius graph)."""
+
+    def __init__(self, template: GeometricMEG, *, native: bool) -> None:
+        super().__init__(template)
+        self.native_capable = native
+        self._lattice = template.lattice
+        self._radius = template.radius
+        self._n = template.num_nodes
+
+    # -- replay -------------------------------------------------------------
+
+    def replay_neighborhood(self, model: GeometricMEG,
+                            informed: np.ndarray) -> np.ndarray:
+        return within_radius_of_members(model.walkers.positions(), informed,
+                                        model.radius)
+
+    # -- native -------------------------------------------------------------
+
+    def batch_init(self, count: int, rng: np.random.Generator) -> _WalkerState:
+        ix, iy = self._lattice.sample_stationary_indices(count * self._n,
+                                                         seed=rng)
+        state = _WalkerState()
+        state.ix = ix.reshape(count, self._n)
+        state.iy = iy.reshape(count, self._n)
+        return state
+
+    def batch_neighborhood(self, state: _WalkerState, informed: np.ndarray,
+                           act: np.ndarray) -> np.ndarray:
+        positions = self._lattice.to_coordinates(
+            state.ix[act].ravel(), state.iy[act].ravel())
+        positions = positions.reshape(act.shape[0], self._n, 2)
+        return batched_within_radius(positions, informed[act], self._radius)
+
+    def batch_step(self, state: _WalkerState, rng: np.random.Generator,
+                   active: np.ndarray) -> None:
+        act = np.flatnonzero(active)
+        moved_x, moved_y = self._lattice.step_indices(
+            state.ix[act].ravel(), state.iy[act].ravel(), rng=rng)
+        state.ix[act] = moved_x.reshape(act.shape[0], self._n)
+        state.iy[act] = moved_y.reshape(act.shape[0], self._n)
+
+
+def _geometric_factory(template: GeometricMEG) -> GeometricBatchedDynamics | None:
+    if not uses_inherited(template, GeometricMEG, "snapshot"):
+        return None
+    native = uses_inherited(template, GeometricMEG, "reset", "step")
+    return GeometricBatchedDynamics(template, native=native)
+
+
+register_batched_dynamics(GeometricMEG, _geometric_factory)

@@ -14,13 +14,17 @@ scipy details and the patterns are unit-testable against brute force.
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
+from scipy import ndimage
 from scipy.spatial import cKDTree
 
 from repro.util.validation import require, require_positive
 
 __all__ = [
     "within_radius_of_members",
+    "batched_within_radius",
     "radius_edges",
     "radius_degrees",
     "brute_force_within_radius",
@@ -77,6 +81,271 @@ def within_radius_of_members(
     # Nearest member distance for each outside point; eps=0 exact.
     dist, _ = tree.query(positions[other_idx], k=1, distance_upper_bound=radius * (1 + 1e-12))
     out[other_idx[dist <= radius * (1 + 1e-12)]] = True
+    return out
+
+
+#: Fall back to per-trial k-d queries when the cell grid would need more
+#: than this many cells per point (pathologically small radii).
+_MAX_CELLS_PER_POINT = 8
+
+
+#: Cell-grid resolution of batched_within_radius: cells of edge
+#: ``R / _CELLS_PER_RADIUS`` make the guaranteed box (every pair within
+#: R no matter where in their cells the points sit) cover the full 3x3
+#: neighborhood, so spread-out informed sets settle without distance
+#: checks.
+_CELLS_PER_RADIUS = 3.0
+
+
+def _shifted_any(occupied: np.ndarray, offsets: list, *,
+                 periodic: bool) -> np.ndarray:
+    """Per cell: whether any *offsets*-shifted cell is occupied.
+
+    ``result[b, x, y] = OR_(dx,dy) occupied[b, x+dx, y+dy]`` with
+    toroidal wrap-around when *periodic* (out-of-range cells count as
+    empty otherwise).  One C-level dilation over the ``(B, g, g)``
+    stack; the offset set becomes the (symmetric) footprint.
+    """
+    g = occupied.shape[1]
+    reach = max(max(abs(dx), abs(dy)) for dx, dy in offsets)
+    if reach >= g and periodic:
+        # Footprint wraps onto itself; fall back to explicit rolls.
+        acc = np.zeros_like(occupied)
+        for dx, dy in offsets:
+            acc |= np.roll(occupied, (-dx, -dy), axis=(1, 2))
+        return acc
+    size = 2 * reach + 1
+    footprint = np.zeros((1, size, size), dtype=bool)
+    for dx, dy in offsets:
+        # grey_dilation computes max over input[x - k], so reading
+        # occupied[x + dx] needs the footprint entry at -dx.
+        footprint[0, reach - dx, reach - dy] = True
+    dilated = ndimage.grey_dilation(
+        occupied.astype(np.uint8), footprint=footprint,
+        mode="wrap" if periodic else "constant", cval=0)
+    return dilated.astype(bool)
+
+
+def batched_within_radius(
+    positions: np.ndarray,
+    members: np.ndarray,
+    radius: float,
+    *,
+    boxsize: float | None = None,
+) -> np.ndarray:
+    """Per-trial :func:`within_radius_of_members` for ``B`` stacked trials,
+    answered by **one** shared uniform cell grid.
+
+    The engine's batched kernels hold the node positions of all trials
+    as a ``(B, n, 2)`` stack.  A per-trial k-d tree pays a build *and* a
+    nearest-member traversal per point per trial per step; here the
+    whole batch shares one grid of square cells with edge
+    ``c <= R / 3`` (cell ids carry the trial index, so trials can never
+    mix):
+
+    * a non-member with a member anywhere in a **guaranteed** cell —
+      one whose farthest point is within ``R`` of anywhere in the
+      non-member's cell — is settled with no distance computation,
+      which covers almost every point once the informed sets are
+      spread out;
+    * the surviving points can only pair with members of the thin
+      **maybe** annulus of cells; those candidate pairs are enumerated
+      cell-against-cell (a ragged cross-join driven from the frontier
+      member cells, so work scales with the frontier shell, not with
+      the point count) and checked against the same
+      ``<= R (1 + 1e-12)`` predicate as the k-d path.
+
+    Work per call is ``O(B n + pairs-in-neighboring-cells)`` with small
+    constants — no trees, no per-trial Python loop.  Degenerate radii
+    (a grid finer than :data:`_MAX_CELLS_PER_POINT` cells per point)
+    fall back to per-trial k-d queries.
+
+    Parameters
+    ----------
+    positions:
+        ``(B, n, 2)`` float array — trial ``b``'s points are
+        ``positions[b]``.
+    members:
+        ``(B, n)`` boolean mask of each trial's member set.
+    radius, boxsize:
+        As in :func:`within_radius_of_members`.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(B, n)`` boolean mask; row ``b`` equals
+        ``within_radius_of_members(positions[b], members[b], radius,
+        boxsize=boxsize)``.
+    """
+    positions = np.asarray(positions, dtype=float)
+    members = np.asarray(members, dtype=bool)
+    require(positions.ndim == 3 and positions.shape[2] == 2,
+            "positions must be (B, n, 2)")
+    require(members.shape == positions.shape[:2],
+            "members mask must be (B, n)")
+    radius = require_positive(radius, "radius")
+
+    num_trials, n, _ = positions.shape
+    out = np.zeros((num_trials, n), dtype=bool)
+    flat_members = members.ravel()
+    if not flat_members.any() or flat_members.all():
+        return out
+
+    flat_pos = _prepare(positions.reshape(num_trials * n, 2), boxsize)
+    if boxsize is not None:
+        origin = np.zeros(2)
+        span = float(boxsize)
+    else:
+        origin = flat_pos.min(axis=0)
+        span = float((flat_pos - origin).max(initial=0.0))
+    grid = max(1, math.ceil(span * _CELLS_PER_RADIUS / radius))
+    if grid * grid > _MAX_CELLS_PER_POINT * n:
+        for b in range(num_trials):
+            out[b] = within_radius_of_members(positions[b], members[b],
+                                              radius, boxsize=boxsize)
+        return out
+    cell = span / grid if span > 0 else 0.0
+
+    if cell > 0:
+        coords = np.clip(((flat_pos - origin) / cell).astype(np.int64),
+                         0, grid - 1)
+        cx, cy = coords[:, 0], coords[:, 1]
+    else:  # all points coincide per axis
+        cx = np.zeros(num_trials * n, dtype=np.int64)
+        cy = cx
+    trial = np.repeat(np.arange(num_trials, dtype=np.int64), n)
+    cell_id = (trial * grid + cy) * grid + cx
+
+    member_idx = np.flatnonzero(flat_members)
+    other_idx = np.flatnonzero(~flat_members)
+    num_cells = num_trials * grid * grid
+    member_counts = np.bincount(cell_id[member_idx], minlength=num_cells)
+    member_occ = (member_counts > 0).reshape(num_trials, grid, grid)
+    periodic = boxsize is not None
+
+    # Classify cell offsets by the distance bounds of their point pairs:
+    # a *guaranteed* offset keeps even the farthest pair within R, a
+    # *maybe* offset only the nearest.  With c <= R/3 the guaranteed box
+    # spans the whole 3x3 neighborhood and beyond, so it settles almost
+    # every point of a spread-out informed set with no distance work.
+    bound2 = (radius * (1 + 1e-12)) ** 2
+    cell2 = cell * cell
+    # Offsets beyond grid-1 cells reach no new cell (out of range when
+    # Euclidean, already wrapped onto covered cells when toroidal), so
+    # the clamp also keeps a tightly clustered cloud (span << radius,
+    # hence a tiny grid) from enumerating a huge offset range.
+    dmax = min(int(radius // cell) + 1, grid - 1) if cell > 0 else 0
+    guaranteed = []
+    maybe = []
+    for dx in range(-dmax, dmax + 1):
+        for dy in range(-dmax, dmax + 1):
+            nearest = (max(abs(dx) - 1, 0) ** 2 + max(abs(dy) - 1, 0) ** 2) * cell2
+            if nearest > bound2:
+                continue
+            farthest = ((abs(dx) + 1) ** 2 + (abs(dy) + 1) ** 2) * cell2
+            if farthest <= radius * radius:
+                guaranteed.append((dx, dy))
+            else:
+                maybe.append((dx, dy))
+
+    out_flat = out.ravel()
+    settled = _shifted_any(member_occ, guaranteed,
+                           periodic=periodic).ravel()[cell_id[other_idx]]
+    out_flat[other_idx[settled]] = True
+    pending = other_idx[~settled]
+    if pending.size == 0 or not maybe:
+        return out
+
+    # Surviving points have no member in their guaranteed box, so any
+    # member within R sits in a *maybe* cell.  Those candidate pairs are
+    # enumerated cell-against-cell (a ragged cross-join) and the join is
+    # driven from whichever side occupies fewer cells — the few members
+    # early in a flood, the few surviving non-members once the informed
+    # sets have spread — so work scales with the frontier shell, never
+    # with the point count.
+    near_member = _shifted_any(member_occ, maybe, periodic=periodic)
+    pending = pending[near_member.ravel()[cell_id[pending]]]
+    if pending.size == 0:
+        return out
+    pending_cells = cell_id[pending]
+    pending_counts = np.bincount(pending_cells, minlength=num_cells)
+    pending_starts = np.concatenate(([0], np.cumsum(pending_counts)))
+    pending_sorted = pending[np.argsort(pending_cells, kind="stable")]
+    pending_occ = (pending_counts > 0).reshape(num_trials, grid, grid)
+    member_starts = np.concatenate(([0], np.cumsum(member_counts)))
+    members_sorted = member_idx[np.argsort(cell_id[member_idx],
+                                           kind="stable")]
+
+    drive_cells = np.flatnonzero(
+        (member_counts > 0)
+        & _shifted_any(pending_occ, maybe, periodic=periodic).ravel())
+    target_cells = np.flatnonzero(pending_counts > 0)
+    if drive_cells.size <= target_cells.size:
+        drive_counts, drive_starts = member_counts, member_starts
+        drive_sorted = members_sorted
+        target_counts, target_starts = pending_counts, pending_starts
+        target_sorted = pending_sorted
+    else:
+        drive_cells = target_cells
+        drive_counts, drive_starts = pending_counts, pending_starts
+        drive_sorted = pending_sorted
+        target_counts, target_starts = member_counts, member_starts
+        target_sorted = members_sorted
+    pending_driven = drive_sorted is pending_sorted
+
+    # One flat join across every (drive cell, maybe offset) combination:
+    # J offset columns per cell, then the ragged cross-join over the
+    # combinations whose target cell is occupied.  Halo-padded per-cell
+    # grids make the offset lookups single gathers with no wrap-around
+    # arithmetic or bounds handling.
+    halo = dmax
+    wide = grid + 2 * halo
+    pad_mode = "wrap" if periodic else "constant"
+    padded_counts = np.pad(
+        target_counts.reshape(num_trials, grid, grid),
+        ((0, 0), (halo, halo), (halo, halo)), mode=pad_mode).ravel()
+    padded_starts = np.pad(
+        target_starts[:-1].reshape(num_trials, grid, grid),
+        ((0, 0), (halo, halo), (halo, halo)), mode=pad_mode).ravel()
+    d_counts = drive_counts[drive_cells]
+    d_starts = drive_starts[drive_cells]
+    d_trial = drive_cells // (grid * grid)
+    d_cy, d_cx = np.divmod(drive_cells - d_trial * (grid * grid), grid)
+    dxs = np.asarray([o[0] for o in maybe], dtype=np.int64)
+    dys = np.asarray([o[1] for o in maybe], dtype=np.int64)
+    ncx = (d_cx[:, None] + (dxs[None, :] + halo)).ravel()
+    ncy = (d_cy[:, None] + (dys[None, :] + halo)).ravel()
+    ncell = (np.repeat(d_trial, dxs.shape[0]) * wide + ncy) * wide + ncx
+    lb = padded_counts[ncell]
+    sel = lb > 0
+    if not sel.any():
+        return out
+    lb = lb[sel]
+    la = np.repeat(d_counts, dxs.shape[0])[sel]
+    d_start = np.repeat(d_starts, dxs.shape[0])[sel]
+    t_start = padded_starts[ncell[sel]]
+    # Ragged cross-join without integer division: expand combos to
+    # their drive-side entries, then each entry to its target segment.
+    num_entries = int(la.sum())
+    combo_first = np.concatenate(([0], np.cumsum(la)[:-1]))
+    within_d = np.arange(num_entries) - np.repeat(combo_first, la)
+    entry_drive = drive_sorted[np.repeat(d_start, la) + within_d]
+    entry_lb = np.repeat(lb, la)
+    entry_t_start = np.repeat(t_start, la)
+    total = int(entry_lb.sum())
+    entry_first = np.concatenate(([0], np.cumsum(entry_lb)[:-1]))
+    within_t = np.arange(total) - np.repeat(entry_first, entry_lb)
+    pair_drive = np.repeat(entry_drive, entry_lb)
+    pair_target = target_sorted[np.repeat(entry_t_start, entry_lb) + within_t]
+    delta = flat_pos[pair_drive] - flat_pos[pair_target]
+    if periodic:
+        # Cell coordinates sit within one period, so the wrap is a
+        # conditional +-boxsize — no division.
+        half = boxsize / 2.0
+        np.subtract(delta, boxsize, out=delta, where=delta > half)
+        np.add(delta, boxsize, out=delta, where=delta < -half)
+    hits = np.einsum("ij,ij->i", delta, delta) <= bound2
+    out_flat[(pair_drive if pending_driven else pair_target)[hits]] = True
     return out
 
 

@@ -2,6 +2,7 @@
 
 from repro.mobility.base import MobilityMEG, MobilityModel
 from repro.mobility.direction import RandomDirection
+from repro.mobility.kernels import MobilityBatchedDynamics
 from repro.mobility.sphere import SphereSnapshot, SphereWaypointMEG, sphere_radius_for_density
 from repro.mobility.torus_walk import TorusGridWalk
 from repro.mobility.uniformity import UniformityReport, measure_uniformity
@@ -19,4 +20,5 @@ __all__ = [
     "sphere_radius_for_density",
     "UniformityReport",
     "measure_uniformity",
+    "MobilityBatchedDynamics",
 ]

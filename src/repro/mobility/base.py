@@ -104,6 +104,17 @@ class MobilityMEG(EvolvingGraph):
         """Transmission radius ``R``."""
         return self._radius
 
+    @property
+    def boxsize(self) -> float | None:
+        """Toroidal period of the adjacency metric, or ``None`` (Euclidean)."""
+        return self._boxsize
+
+    @property
+    def warmup_steps(self) -> int:
+        """Steps run after ``reset`` before time 0 (0 when the model's
+        stationary start is exact)."""
+        return 0 if self.model.exact_stationary_start else self._warmup
+
     def reset(self, seed: SeedLike = None) -> None:
         self.model.reset(seed)
         if self._warmup and not self.model.exact_stationary_start:

@@ -116,3 +116,46 @@ class TestSweepPlans:
     def test_empty_plan_rejected(self):
         with pytest.raises(ValueError):
             CampaignPlan(())
+
+
+class TestKernelRefactorKeyStability:
+    """The batched-kernel refactor must not invalidate stored results.
+
+    Replay results are bit-identical by construction (the kernels'
+    replay contract is enforced seed-for-seed in ``tests/engine/``), so
+    the spec version ``v`` must **not** bump and replay keys must hash
+    to exactly what they hashed to before the refactor.  Native mobility
+    units key under ``native/cs<chunk>`` and never alias replay entries.
+    """
+
+    # unit_key of E11 at the default seed/scale, computed before the
+    # kernels moved behind the BatchedDynamics registry.  If either hash
+    # moves, previously stored campaign results silently recompute.
+    E11_REPLAY_KEY = (
+        "5a8cf45d4d4f6f6eaa77d00795d5d8e2ed9ed550de3b61009a3862ef79fc6660")
+    E11_NATIVE_KEY = (
+        "7ed379ddb5f20dc82f6e1751f75f26544a1d6f65c46cbd0a7db95e3734dcf823")
+
+    def test_spec_version_unchanged(self):
+        from repro.campaign.plan import _SPEC_VERSION
+        assert _SPEC_VERSION == 1, (
+            "the kernel refactor keeps replay results bit-identical; "
+            "bump v only on semantic simulator changes")
+
+    def test_mobility_replay_key_is_stable(self):
+        for backend in ("serial", "batched", "parallel"):
+            plan = plan_experiments(["E11"], ExperimentConfig(backend=backend))
+            assert plan.keys() == [self.E11_REPLAY_KEY]
+
+    def test_mobility_native_key_never_aliases_replay(self):
+        plan = plan_experiments(["E11"], ExperimentConfig(backend="native"))
+        assert plan.keys() == [self.E11_NATIVE_KEY]
+        assert plan.units[0].spec["stream"] == "native/cs64"
+        assert self.E11_NATIVE_KEY != self.E11_REPLAY_KEY
+
+    def test_mobility_sweep_units_split_by_stream(self):
+        """A mobility sweep run natively must never fetch replay entries."""
+        replay = plan_experiments(["E11", "E12"], ExperimentConfig())
+        native = plan_experiments(["E11", "E12"],
+                                  ExperimentConfig(backend="native"))
+        assert not set(replay.keys()) & set(native.keys())

@@ -142,3 +142,45 @@ class TestEdgeListSnapshot:
         g.add_edge("a", "b")
         with pytest.raises(ValueError):
             snapshot_from_networkx(g)
+
+
+class TestNeighborhoodMasks:
+    """The batched row-wise query every snapshot answers."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 9])
+    def test_adjacency_gather_matches_per_row(self, seed):
+        adj = random_adjacency(30, 0.15, seed)
+        snap = AdjacencySnapshot(adj)
+        rng = np.random.default_rng(seed)
+        members = rng.random((6, 30)) < 0.3
+        batched = snap.neighborhood_masks(members)
+        for i in range(members.shape[0]):
+            np.testing.assert_array_equal(
+                batched[i], snap.neighborhood_mask(members[i]),
+                err_msg=f"row {i} diverges from the single-set query")
+
+    def test_adjacency_handles_empty_and_full_rows(self):
+        snap = AdjacencySnapshot(cycle_adjacency(8))
+        members = np.zeros((3, 8), dtype=bool)
+        members[1] = True       # full set: N(I) empty
+        members[2, 0] = True    # singleton
+        out = snap.neighborhood_masks(members)
+        assert not out[0].any() and not out[1].any()
+        np.testing.assert_array_equal(np.flatnonzero(out[2]), [1, 7])
+
+    def test_edge_list_default_matches_per_row(self):
+        adj = random_adjacency(25, 0.2, 4)
+        snap = EdgeListSnapshot(25, edges_of(adj))
+        rng = np.random.default_rng(4)
+        members = rng.random((5, 25)) < 0.4
+        batched = snap.neighborhood_masks(members)
+        for i in range(members.shape[0]):
+            np.testing.assert_array_equal(
+                batched[i], snap.neighborhood_mask(members[i]))
+
+    def test_masks_disjoint_from_members(self):
+        adj = random_adjacency(20, 0.5, 7)
+        snap = AdjacencySnapshot(adj)
+        members = np.random.default_rng(7).random((4, 20)) < 0.5
+        out = snap.neighborhood_masks(members)
+        assert not (out & members).any()

@@ -158,3 +158,16 @@ class TestFastPath:
         t, _ = flood_time_independent(n, p, seed=seed)
         lb = math.log(n / 2) / math.log(2 * n * p) if 2 * n * p > 1 else 0
         assert t >= math.floor(lb)
+
+
+class TestErMEGFeasibility:
+    def test_infeasible_density_reports_p_hat_and_q(self):
+        from repro.edgemeg import ErMEG
+        with pytest.raises(ValueError, match=r"p_hat <= 1/\(1\+q\)"):
+            ErMEG(10, 0.8, 0.9)
+
+    def test_boundary_density_is_accepted(self):
+        from repro.edgemeg import ErMEG
+        meg = ErMEG(10, 0.5, 1.0)  # p_hat = 1/(1+q) exactly -> p = 1
+        assert meg.p == pytest.approx(1.0)
+        assert meg.p_hat == pytest.approx(0.5)

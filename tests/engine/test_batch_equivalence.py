@@ -18,23 +18,13 @@ from hypothesis import strategies as st
 from repro.core.flooding import flooding_trials, max_flooding_time_over_sources
 from repro.dynamics.sequence import StaticEvolvingGraph, cycle_adjacency
 from repro.dynamics.snapshots import AdjacencySnapshot
+from repro.edgemeg.independent import IndependentDynamicGraph
 from repro.edgemeg.meg import EdgeMEG
 from repro.edgemeg.sparse import SparseEdgeMEG
 from repro.engine import SimulationPlan, run_plan
+from repro.engine.testing import assert_results_bit_identical as assert_bit_identical
 from repro.geometric.meg import GeometricMEG
 from repro.mobility import MobilityMEG, RandomWaypoint
-
-
-def assert_bit_identical(serial, engine):
-    assert len(serial) == len(engine)
-    for i, (a, b) in enumerate(zip(serial, engine)):
-        assert a.source == b.source, f"trial {i}: sources differ"
-        assert a.time == b.time, f"trial {i}: times differ"
-        assert a.completed == b.completed, f"trial {i}: completion differs"
-        np.testing.assert_array_equal(a.informed_history, b.informed_history,
-                                      err_msg=f"trial {i}: histories differ")
-        np.testing.assert_array_equal(a.informed, b.informed,
-                                      err_msg=f"trial {i}: masks differ")
 
 
 MODELS = [
@@ -44,7 +34,10 @@ MODELS = [
     pytest.param(lambda: GeometricMEG(36, move_radius=1.0, radius=3.5),
                  id="geometric"),
     pytest.param(lambda: MobilityMEG(RandomWaypoint(25, side=5.0, speed=1.0),
-                                     radius=2.5), id="mobility-fallback"),
+                                     radius=2.5), id="mobility-waypoint"),
+    # No registered kernels: exercises the generic snapshot fallback.
+    pytest.param(lambda: IndependentDynamicGraph(20, 0.15),
+                 id="generic-fallback"),
 ]
 
 

@@ -2,12 +2,15 @@
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometric.neighbors import (
+    batched_within_radius,
     brute_force_within_radius,
     radius_degrees,
     radius_edges,
@@ -113,3 +116,120 @@ class TestRadiusDegrees:
     def test_isolated_point(self):
         pos = np.array([[0.0, 0.0], [100.0, 100.0]])
         np.testing.assert_array_equal(radius_degrees(pos, 1.0), [0, 0])
+
+
+class TestBatchedWithinRadius:
+    """The shared multi-trial query vs the per-trial reference."""
+
+    def _stack(self, rng, trials, n, side):
+        positions = rng.uniform(0.0, side, size=(trials, n, 2))
+        members = rng.random((trials, n)) < 0.3
+        members[:, 0] = True  # no empty member rows
+        return positions, members
+
+    @staticmethod
+    def _assert_on_cell_grid_path(n, side, radius):
+        """Guard the fixture against silently drifting onto the
+        per-trial k-d fallback (the cell-grid join must stay covered)."""
+        from repro.geometric.neighbors import (_CELLS_PER_RADIUS,
+                                               _MAX_CELLS_PER_POINT)
+        grid = math.ceil(side * _CELLS_PER_RADIUS / radius)
+        assert grid * grid <= _MAX_CELLS_PER_POINT * n, (
+            "fixture exercises the k-d fallback, not the cell grid")
+
+    @pytest.mark.parametrize("boxsize", [None, 20.0])
+    def test_matches_per_trial_query(self, rng, boxsize):
+        self._assert_on_cell_grid_path(40, 20.0, 4.0)
+        positions, members = self._stack(rng, trials=5, n=40, side=20.0)
+        batched = batched_within_radius(positions, members, 4.0,
+                                        boxsize=boxsize)
+        for b in range(positions.shape[0]):
+            np.testing.assert_array_equal(
+                batched[b],
+                within_radius_of_members(positions[b], members[b], 4.0,
+                                         boxsize=boxsize),
+                err_msg=f"trial {b} diverges from the per-trial query")
+
+    @pytest.mark.parametrize("boxsize", [None, 20.0])
+    def test_matches_brute_force(self, rng, boxsize):
+        self._assert_on_cell_grid_path(25, 20.0, 5.0)
+        positions, members = self._stack(rng, trials=4, n=25, side=20.0)
+        batched = batched_within_radius(positions, members, 5.0,
+                                        boxsize=boxsize)
+        for b in range(positions.shape[0]):
+            np.testing.assert_array_equal(
+                batched[b],
+                brute_force_within_radius(positions[b], members[b], 5.0,
+                                          boxsize=boxsize))
+
+    @pytest.mark.parametrize("boxsize", [None, 20.0])
+    def test_kd_fallback_matches_brute_force(self, rng, boxsize):
+        """Tiny radius vs span: the grid would be degenerate, so the
+        per-trial k-d fallback must answer — and agree with brute force."""
+        positions, members = self._stack(rng, trials=3, n=30, side=20.0)
+        batched = batched_within_radius(positions, members, 0.9,
+                                        boxsize=boxsize)
+        for b in range(positions.shape[0]):
+            np.testing.assert_array_equal(
+                batched[b],
+                brute_force_within_radius(positions[b], members[b], 0.9,
+                                          boxsize=boxsize))
+
+    @pytest.mark.parametrize("boxsize", [None, 20.0])
+    @pytest.mark.parametrize("member_rate", [0.03, 0.3, 0.8])
+    def test_cell_grid_sweep_matches_brute_force(self, rng, boxsize,
+                                                 member_rate):
+        """Dense fixture pinned to the cell-grid join across sparse,
+        mid, and dense member sets."""
+        self._assert_on_cell_grid_path(80, 20.0, 4.0)
+        positions = rng.uniform(0.0, 20.0, size=(4, 80, 2))
+        members = rng.random((4, 80)) < member_rate
+        members[:, 0] = True
+        batched = batched_within_radius(positions, members, 4.0,
+                                        boxsize=boxsize)
+        for b in range(positions.shape[0]):
+            np.testing.assert_array_equal(
+                batched[b],
+                brute_force_within_radius(positions[b], members[b], 4.0,
+                                          boxsize=boxsize))
+
+    def test_no_cross_trial_contamination(self):
+        """Co-located points in different trials must not connect."""
+        positions = np.zeros((2, 2, 2))
+        positions[0] = [[0.0, 0.0], [10.0, 10.0]]
+        positions[1] = [[0.1, 0.0], [10.0, 10.0]]
+        members = np.array([[True, False], [False, False]])
+        out = batched_within_radius(positions, members, 1.0)
+        assert not out[1].any()  # trial 1's origin point is not informed
+        assert not out[0].any()  # trial 0's far point is out of range
+
+    def test_degenerate_member_rows(self):
+        rng = np.random.default_rng(0)
+        positions = rng.uniform(0.0, 10.0, size=(3, 8, 2))
+        members = np.zeros((3, 8), dtype=bool)
+        assert not batched_within_radius(positions, members, 2.0).any()
+        members[:] = True
+        assert not batched_within_radius(positions, members, 2.0).any()
+        # Mixed: one full row, one empty row, one ordinary row.
+        members[0] = True
+        members[1] = False
+        members[2] = rng.random(8) < 0.5
+        out = batched_within_radius(positions, members, 2.0)
+        assert not out[0].any() and not out[1].any()
+        np.testing.assert_array_equal(
+            out[2], within_radius_of_members(positions[2], members[2], 2.0))
+
+    def test_single_trial_matches(self, small_positions, rng):
+        members = rng.random(len(small_positions)) < 0.4
+        members[0] = True
+        np.testing.assert_array_equal(
+            batched_within_radius(small_positions[None], members[None], 3.0)[0],
+            within_radius_of_members(small_positions, members, 3.0))
+
+    def test_tight_cluster_terminates_quickly(self):
+        """span << radius collapses the grid to one cell; the offset
+        range must clamp to the grid instead of scaling with R/span."""
+        positions = np.array([[[0.0, 0.0], [1e-5, 1e-5], [2e-5, 0.0]]])
+        members = np.array([[True, False, False]])
+        out = batched_within_radius(positions, members, 2.5)
+        np.testing.assert_array_equal(out, [[False, True, True]])
