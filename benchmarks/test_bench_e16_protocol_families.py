@@ -1,0 +1,15 @@
+"""Bench E16 — protocol zoo across model families.
+
+Regenerates the E16 table at quick scale and times the regeneration.
+"""
+
+from repro.experiments import ExperimentConfig, run_one
+
+CONFIG = ExperimentConfig(scale="quick")
+
+
+def test_bench_e16_protocol_families(benchmark):
+    result = benchmark.pedantic(run_one, args=("E16", CONFIG),
+                                rounds=1, iterations=1)
+    assert result.rows, "experiment produced no table"
+    assert result.verdict != "inconsistent", result.to_text()

@@ -10,8 +10,13 @@ Models
     evolving graphs in :mod:`repro.dynamics`.
 Processes
     :func:`~repro.core.flood` / :func:`~repro.core.flooding_time` (the
-    paper's flooding mechanism) plus the protocol baselines in
-    :mod:`repro.core.spreading`.
+    paper's flooding mechanism) plus the pluggable protocol subsystem
+    in :mod:`repro.protocols` — flooding, probabilistic p-flooding,
+    expiring (SIR-style) flooding, push / pull / push–pull gossip —
+    behind one registry the engine dispatches through
+    (:func:`~repro.protocols.spread`,
+    :func:`~repro.protocols.spreading_trials`); the legacy serial
+    baselines remain in :mod:`repro.core.spreading`.
 Engine
     The batched Monte Carlo engine in :mod:`repro.engine`: declare a
     :class:`~repro.engine.SimulationPlan`, execute it with
@@ -58,6 +63,19 @@ from repro.core import (
     unit_ladder_bound,
 )
 from repro.engine import SimulationPlan, TrialEnsemble, run_plan
+from repro.protocols import (
+    FLOODING,
+    ExpiringFlooding,
+    Flooding,
+    ProbabilisticFlooding,
+    PullGossip,
+    PushGossip,
+    PushPullGossip,
+    SpreadingProtocol,
+    resolve_protocol,
+    spread,
+    spreading_trials,
+)
 from repro.dynamics import EvolvingGraph, GraphSnapshot, moving_hub_star
 from repro.edgemeg import EdgeMEG, IndependentDynamicGraph, SparseEdgeMEG
 from repro.geometric import GeometricMEG
@@ -100,6 +118,17 @@ __all__ = [
     "SimulationPlan",
     "TrialEnsemble",
     "run_plan",
+    "SpreadingProtocol",
+    "Flooding",
+    "FLOODING",
+    "ProbabilisticFlooding",
+    "ExpiringFlooding",
+    "PushGossip",
+    "PullGossip",
+    "PushPullGossip",
+    "resolve_protocol",
+    "spread",
+    "spreading_trials",
     "ladder_bound",
     "unit_ladder_bound",
     "geometric_ladder",

@@ -4,7 +4,7 @@ from repro.analysis.asciiplot import ascii_plot
 from repro.analysis.fitting import PowerLawFit, RatioBand, constant_ratio_check, fit_power_law
 from repro.analysis.records import ExperimentResult, rows_to_csv, rows_to_json
 from repro.analysis.stats import TrialSummary, bootstrap_ci, summarize, whp_quantile
-from repro.analysis.sweep import SweepPoint, parameter_grid, run_sweep
+from repro.analysis.sweep import SweepPoint, parameter_grid, protocol_grid, run_sweep
 from repro.analysis.tables import format_value, render_table
 
 __all__ = [
@@ -21,6 +21,7 @@ __all__ = [
     "rows_to_json",
     "SweepPoint",
     "parameter_grid",
+    "protocol_grid",
     "run_sweep",
     "format_value",
     "render_table",

@@ -23,7 +23,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.util.rng import SeedLike, derive_seed
 from repro.util.validation import require
 
-__all__ = ["SweepPoint", "parameter_grid", "run_sweep"]
+__all__ = ["SweepPoint", "parameter_grid", "protocol_grid", "run_sweep"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,31 @@ def parameter_grid(**axes: Sequence[Any]) -> list[dict[str, Any]]:
     names = list(axes.keys())
     combos = itertools.product(*(axes[name] for name in names))
     return [dict(zip(names, values)) for values in combos]
+
+
+def protocol_grid(protocols: Sequence[Any], **axes: Sequence[Any]) -> list[dict[str, Any]]:
+    """A parameter grid with a leading ``protocol`` axis of canonical tokens.
+
+    *protocols* may mix :class:`~repro.protocols.base.SpreadingProtocol`
+    instances and registry tokens; every entry is normalised to its
+    canonical token (``"push-pull"``,
+    ``"p-flood(transmit_probability=0.3)"``, ...) so that grid rows —
+    and therefore campaign cache keys of swept points — spell the
+    protocol exactly one way.  Inside the sweep function, resolve the
+    point back with ``repro.protocols.resolve_protocol(point["protocol"])``
+    and hand it to :func:`repro.protocols.spreading_trials`:
+
+    >>> grid = protocol_grid(["flooding", "push-pull"], n=[64, 128])
+    >>> [row["protocol"] for row in grid][:2]
+    ['flooding', 'flooding']
+    """
+    from repro.protocols import resolve_protocol
+
+    require(len(protocols) > 0, "need at least one protocol")
+    tokens = [resolve_protocol(protocol).token() for protocol in protocols]
+    require(len(set(tokens)) == len(tokens),
+            "protocols must be distinct after normalisation")
+    return parameter_grid(protocol=tokens, **axes)
 
 
 def run_sweep(

@@ -84,7 +84,8 @@ def _build_plan(args: argparse.Namespace) -> CampaignPlan:
         raise SystemExit("no experiments given (use ids like E4, or 'all')")
     config = ExperimentConfig(seed=args.seed, scale=args.scale,
                               trials=args.trials, backend=args.backend,
-                              jobs=getattr(args, "jobs", None))
+                              jobs=getattr(args, "jobs", None),
+                              protocol=args.protocol)
     return plan_experiments(expand_ids(args.experiments), config)
 
 

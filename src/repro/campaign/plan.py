@@ -9,10 +9,21 @@ Spec contract (what invalidates a cache key)
 --------------------------------------------
 ``kind="experiment"`` units are keyed on::
 
-    {v, kind, experiment, scale, seed, trials, stream}
+    {v, kind, experiment, scale, seed, trials, stream[, protocol]}
 
 * ``experiment``/``scale``/``seed``/``trials`` pin the work the paper's
   tables call for; changing any of them is different work.
+* ``protocol`` is the canonical token of a **non-default** spreading
+  protocol (:meth:`repro.experiments.common.ExperimentConfig.protocol_token`),
+  recorded only for experiments whose module declares
+  ``PROTOCOL_AWARE = True`` (they consume ``config.protocol``, so the
+  token changes their bytes).  The default ``flooding`` — and any
+  protocol handed to a protocol-oblivious experiment — is *omitted*,
+  so every key computed before the protocol subsystem existed stays
+  byte-identical (flooding through the protocol registry is
+  bit-identical to the pre-registry flood, so those stored results
+  remain exactly what a recompute would produce) and ``--protocol``
+  never relabels or recomputes work it cannot affect.
 * ``stream`` is :meth:`repro.experiments.common.ExperimentConfig.stream_contract`:
   ``"replay"`` for the serial/batched/parallel backends (bit-identical
   by the engine's seed-tree contract, so they *share* cache entries)
@@ -38,7 +49,7 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.analysis.sweep import SweepPoint
 from repro.campaign.store import ResultStore, unit_key
 from repro.experiments.common import ExperimentConfig
-from repro.experiments.registry import normalize_id
+from repro.experiments.registry import load_experiment, normalize_id
 from repro.util.rng import SeedLike, derive_seed
 from repro.util.validation import require
 
@@ -107,9 +118,26 @@ def _experiment_unit(experiment_id: str, config: ExperimentConfig) -> WorkUnit:
         "trials": None if config.trials is None else int(config.trials),
         "stream": config.stream_contract(),
     }
+    # The spreading protocol is part of the work's identity, but only
+    # where it can change the result bytes: experiments that actually
+    # consume ``config.protocol`` declare ``PROTOCOL_AWARE = True`` in
+    # their module.  For everything else — and for the default
+    # ``flooding`` everywhere — the key field is *omitted*, never
+    # written, so default-flooding units hash to exactly what
+    # pre-protocol stores hashed to (flooding through the registry is
+    # bit-identical; enforced in tests/engine and tests/protocols) and
+    # a protocol-oblivious experiment run under ``--protocol X`` is
+    # correctly recognised as the same cached work, not relabelled.
+    token = config.protocol_token()
+    aware = (token != "flooding"
+             and getattr(load_experiment(canonical), "PROTOCOL_AWARE", False))
+    if aware:
+        spec["protocol"] = token
     # The payload keeps the *executing* knobs (backend, jobs) that the
     # spec deliberately ignores; output_dir stays with the caller — the
-    # store is the campaign's persistence layer.
+    # store is the campaign's persistence layer.  The payload protocol
+    # mirrors the spec's identity: protocol-oblivious experiments run
+    # (and record provenance) as flooding work.
     payload = {
         "kind": "experiment",
         "experiment": canonical,
@@ -119,6 +147,9 @@ def _experiment_unit(experiment_id: str, config: ExperimentConfig) -> WorkUnit:
             "trials": config.trials,
             "backend": config.backend,
             "jobs": config.jobs if config.backend == "parallel" else None,
+            # The canonical token, not the raw CLI spelling: equal cache
+            # keys must carry equal provenance.
+            "protocol": token if aware else "flooding",
         },
     }
     return WorkUnit(spec=spec, payload=payload, label=canonical)

@@ -236,6 +236,7 @@ def flooding_trials(
     backend: str = "serial",
     jobs: int | None = None,
     rng_mode: str = "replay",
+    chunk_size: int | None = None,
 ) -> list[FloodingResult]:
     """Run independent flooding trials with spawned RNG streams.
 
@@ -261,13 +262,23 @@ def flooding_trials(
         ``"native"`` uses the engine's own batched stream layout —
         identical process law, different realisations, and a much
         faster kernel (see DESIGN.md).
+    chunk_size:
+        Trials per engine chunk (``None``: the plan default).  Replay
+        results never depend on it; native realisations do (the
+        ``(seed, trials, chunk_size)`` contract).  Unused by the
+        serial backend.
     """
     trials = require_positive_int(trials, "trials")
+    if chunk_size is not None:
+        require_positive_int(chunk_size, "chunk_size")
     if backend != "serial":
         from repro.engine import SimulationPlan, run_plan
+        from repro.engine.plan import DEFAULT_CHUNK_SIZE
 
         plan = SimulationPlan(model=graph, trials=trials, source=source,
-                              max_steps=max_steps, seed=seed, rng_mode=rng_mode)
+                              max_steps=max_steps, seed=seed, rng_mode=rng_mode,
+                              chunk_size=(DEFAULT_CHUNK_SIZE if chunk_size is None
+                                          else chunk_size))
         return run_plan(plan, backend=backend, jobs=jobs).to_results()
     streams = spawn(seed, 2 * trials)
     results: list[FloodingResult] = []

@@ -141,6 +141,15 @@ class EdgeListSnapshot(GraphSnapshot):
     def num_nodes(self) -> int:
         return self._n
 
+    @property
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The symmetrised adjacency as ``(indptr, indices)`` CSR arrays
+        (do not mutate).  Neighbor lists are contiguous per node in a
+        deterministic construction order (not sorted); the gossip
+        protocols gather uniform neighbor samples straight from it.
+        """
+        return self._indptr, self._indices
+
     def neighborhood_mask(self, members: np.ndarray) -> np.ndarray:
         members = np.asarray(members, dtype=bool)
         require(members.shape == (self._n,), "members mask has wrong length")

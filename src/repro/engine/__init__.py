@@ -6,13 +6,16 @@ multipliers into batch dimensions:
 * :class:`~repro.engine.plan.SimulationPlan` — declarative description
   of a trial batch (model, trials, sources, budget, deterministic seed
   tree).
-* :mod:`~repro.engine.batch` — model-agnostic batched bookkeeping
-  advancing ``B`` trials as a ``(B, n)`` informed matrix; the
-  model-family kernels plug in through the
+* :mod:`~repro.engine.batch` — model- and protocol-agnostic batched
+  bookkeeping advancing ``B`` trials as a ``(B, n)`` informed matrix;
+  the model-family kernels plug in through the
   :class:`~repro.dynamics.batched.BatchedDynamics` registry (providers
   live next to their models: ``repro.edgemeg.kernels``,
-  ``repro.geometric.kernels``, ``repro.mobility.kernels``), with a
-  per-trial snapshot fallback for unregistered families.
+  ``repro.geometric.kernels``, ``repro.mobility.kernels``), the
+  spreading-process kernels through the
+  :class:`~repro.protocols.batched.BatchedProtocol` registry
+  (``SimulationPlan(protocol=...)``), with per-trial fallbacks for
+  unregistered families and protocols.
 * :func:`~repro.engine.executor.run_plan` — ``serial`` / ``batched`` /
   ``parallel`` execution behind one call.
 * :class:`~repro.engine.results.TrialEnsemble` — column-wise results

@@ -1,25 +1,31 @@
-"""Batched flooding bookkeeping over pluggable model kernels.
+"""Batched spreading bookkeeping over pluggable model and protocol kernels.
 
-This module advances **B independent flooding trials simultaneously**,
+This module advances **B independent spreading trials simultaneously**,
 holding the informed sets as a ``(B, n)`` boolean matrix.  Everything
 model-specific — the exact ``N(I)`` query against a live trial model,
 the fully batched native population kernels — is obtained through the
 :class:`~repro.dynamics.batched.BatchedDynamics` registry
-(:func:`~repro.dynamics.batched.batched_dynamics_for`); this module owns
-only the model-agnostic bookkeeping: informed matrices, count
-histories, truncation, multi-source seeding, and chunk assembly.  It
-imports **no concrete model classes** — model packages register their
-kernel providers (``repro.edgemeg.kernels``, ``repro.geometric.kernels``,
-``repro.mobility.kernels``) and any unregistered family runs on the
-generic snapshot fallback.
+(:func:`~repro.dynamics.batched.batched_dynamics_for`), and everything
+*process*-specific — activation, transmission, stalling — through the
+:class:`~repro.protocols.batched.BatchedProtocol` registry
+(:func:`~repro.protocols.batched.batched_protocol_for`); this module
+owns only the protocol- and model-agnostic bookkeeping: informed
+matrices, count histories, truncation, multi-source seeding, and chunk
+assembly.  It imports **no concrete model classes** — model packages
+register their kernel providers (``repro.edgemeg.kernels``,
+``repro.geometric.kernels``, ``repro.mobility.kernels``) and any
+unregistered family runs on the generic snapshot fallback; likewise
+unregistered protocols run their serial rules per trial.
 
 Two stream layouts are supported (see :mod:`repro.engine.plan`):
-*replay* advances each trial's own generator exactly like the serial
+*replay* advances each trial's own generators exactly like the serial
 reference, making every result bit-identical to
-:func:`repro.core.flooding.flood`; *native* draws from one chunk-level
-generator in batch order, enabling the vectorised population kernels
-that the providers implement (sparse edge churn, shared lattice steps,
-stacked mobility kinematics).
+:func:`repro.core.flooding.flood` /
+:func:`repro.protocols.runner.spread`; *native* draws from one
+chunk-level generator in batch order, enabling the vectorised
+population kernels that the providers implement (sparse edge churn,
+shared lattice steps, stacked mobility kinematics) composed with the
+mask-based protocol kernels.
 """
 
 from __future__ import annotations
@@ -32,6 +38,8 @@ from repro.core.flooding import _resolve_sources
 from repro.dynamics.base import EvolvingGraph
 from repro.dynamics.batched import BatchedDynamics, batched_dynamics_for
 from repro.engine.results import TrialEnsemble
+from repro.protocols.base import SpreadingProtocol
+from repro.protocols.batched import BatchedProtocol, batched_protocol_for
 from repro.util.validation import require, require_node
 
 __all__ = [
@@ -44,18 +52,24 @@ __all__ = [
 # replay kernel: per-trial model streams, batched bookkeeping
 # ---------------------------------------------------------------------------
 
-def _fresh_masks(kernel: BatchedDynamics, models: list[EvolvingGraph],
-                 informed: np.ndarray, act: list[int]) -> np.ndarray:
-    """``N(I)`` masks of the *act* trials through the family kernel.
+def _fresh_masks(pk: BatchedProtocol, kernel: BatchedDynamics,
+                 models: list[EvolvingGraph], states: list,
+                 informed: np.ndarray, act: list[int], t: int,
+                 rngs: "list[np.random.Generator | None] | None") -> np.ndarray:
+    """Fresh masks of the *act* trials through the protocol kernel.
 
-    Every provider's replay query is exact (bit-identical to the
-    snapshot path by the protocol contract), so replay results stay
-    bit-identical to serial :func:`~repro.core.flooding.flood`.
+    Every provider's replay round is exact (for flooding, bit-identical
+    to the snapshot path by the dynamics contract; for other protocols,
+    the same draws as the serial :func:`repro.protocols.runner.spread`
+    round), so replay results stay bit-identical to the serial
+    reference.
     """
     n = informed.shape[1]
     out = np.zeros((len(act), n), dtype=bool)
     for j, b in enumerate(act):
-        out[j] = kernel.replay_neighborhood(models[b], informed[b])
+        rng = rngs[b] if rngs is not None else None
+        out[j] = pk.replay_round(kernel, models[b], states[b], informed[b],
+                                 t, rng)
     return out
 
 
@@ -63,20 +77,28 @@ def _run_models_loop(models: list[EvolvingGraph],
                      sources: list[tuple[int, ...]],
                      budget: int,
                      record_history: bool,
-                     record_informed: bool) -> TrialEnsemble:
+                     record_informed: bool,
+                     protocol: SpreadingProtocol,
+                     rngs: "list[np.random.Generator | None] | None" = None,
+                     ) -> TrialEnsemble:
     """Advance already-reset per-trial models in lockstep.
 
-    Mirrors the update order of :func:`repro.core.flooding.flood`
-    exactly (conditional recount, post-increment time, one step budget
-    shared by every trial) so times, histories and masks coincide."""
+    Mirrors the update order of :func:`repro.core.flooding.flood` (and
+    its protocol generalisation :func:`repro.protocols.runner.spread`)
+    exactly — conditional recount, post-increment time, one step budget
+    shared by every trial, post-round stall check — so times, histories
+    and masks coincide with the serial reference."""
     kernel = batched_dynamics_for(models[0])
     n = models[0].num_nodes
+    pk = batched_protocol_for(protocol, n)
     num = len(models)
     informed = np.zeros((num, n), dtype=bool)
     histories: list[list[int]] = []
+    states = []
     for i, src in enumerate(sources):
         informed[i, list(src)] = True
         histories.append([len(src)])
+        states.append(pk.trial_state(src))
     times = np.zeros(num, dtype=np.int64)
     completed = np.zeros(num, dtype=bool)
     act = [i for i in range(num) if histories[i][-1] < n]
@@ -85,13 +107,14 @@ def _run_models_loop(models: list[EvolvingGraph],
             completed[i] = True  # single-node graphs complete at t=0
     t = 0
     while act and t < budget:
-        fresh = _fresh_masks(kernel, models, informed, act)
+        fresh = _fresh_masks(pk, kernel, models, states, informed, act, t, rngs)
         t += 1
         still = []
         for j, b in enumerate(act):
             count = histories[b][-1]
             if fresh[j].any():
                 informed[b] |= fresh[j]
+                pk.absorb(states[b], fresh[j], t)
                 count = int(informed[b].sum())
             histories[b].append(count)
             if count == n:
@@ -99,6 +122,8 @@ def _run_models_loop(models: list[EvolvingGraph],
                 completed[b] = True
             elif t >= budget:
                 times[b] = t
+            elif pk.stalled(states[b], informed[b], t):
+                times[b] = t  # retired early; completed stays False
             else:
                 models[b].step()
                 still.append(b)
@@ -116,8 +141,8 @@ def _run_models_loop(models: list[EvolvingGraph],
 
 def _run_chunk_replay(plan, streams: list[np.random.Generator],
                       count: int, budget: int) -> TrialEnsemble:
-    """Run *count* trials whose ``(graph, source)`` generator pairs are
-    given in the serial layout (two streams per trial)."""
+    """Run *count* flooding trials whose ``(graph, source)`` generator
+    pairs are given in the serial layout (two streams per trial)."""
     models = [plan.make_model() for _ in range(count)]
     n = models[0].num_nodes
     sources = []
@@ -127,7 +152,31 @@ def _run_chunk_replay(plan, streams: list[np.random.Generator],
         sources.append(_resolve_sources(src, n))
         models[i].reset(rng_graph)
     return _run_models_loop(models, sources, budget,
-                            plan.record_history, plan.record_informed)
+                            plan.record_history, plan.record_informed,
+                            plan.protocol)
+
+
+def _run_chunk_replay_protocol(plan, trial_streams: list[tuple[int, int]],
+                               count: int, budget: int) -> TrialEnsemble:
+    """Run *count* non-flooding protocol trials from their per-trial
+    ``(run_seed, source_seed)`` integers (the
+    :func:`repro.protocols.runner.spreading_trials` layout)."""
+    from repro.protocols.runner import draw_trial_source, split_protocol_seed
+
+    protocol = plan.protocol
+    models = [plan.make_model() for _ in range(count)]
+    n = models[0].num_nodes
+    sources = []
+    rngs: list[np.random.Generator | None] = []
+    for i, (run_seed, source_seed) in enumerate(trial_streams):
+        src = draw_trial_source(plan.source, n, source_seed)
+        sources.append(_resolve_sources(src, n))
+        rng_graph, rng_proto = split_protocol_seed(protocol, run_seed)
+        models[i].reset(rng_graph)
+        rngs.append(rng_proto)
+    return _run_models_loop(models, sources, budget,
+                            plan.record_history, plan.record_informed,
+                            protocol, rngs)
 
 
 # ---------------------------------------------------------------------------
@@ -159,18 +208,25 @@ def _finish_native(n, sources, times, completed, count_log, informed,
     )
 
 
-def _run_chunk_native(plan, kernel: BatchedDynamics,
+def _run_chunk_native(plan, kernel: BatchedDynamics, pk: BatchedProtocol,
                       rng: np.random.Generator, count: int,
                       budget: int) -> TrialEnsemble:
-    """The generic native loop: model-agnostic bookkeeping around the
-    provider's ``batch_init`` / ``batch_neighborhood`` / ``batch_step``
-    hooks.  The update order matches the serial reference (inform
-    across the time-``t`` graphs, then advance the survivors), so every
-    family's native results share the semantics of serial ``flood`` —
-    as different realisations of the same process law."""
+    """The generic native loop: model- and protocol-agnostic bookkeeping
+    around the dynamics provider's ``batch_init`` /
+    ``batch_neighborhood`` / ``batch_step`` hooks composed with the
+    protocol provider's ``batch_active`` / ``batch_absorb`` /
+    ``batch_stalled`` hooks.  The update order matches the serial
+    reference (inform across the time-``t`` graphs, then advance the
+    survivors), so every family's native results share the semantics of
+    the serial process — as different realisations of the same law.
+    For flooding the protocol hooks are the identity (``batch_active``
+    returns ``None`` and the informed matrix goes to the dynamics
+    kernel untouched), keeping its native draws byte-for-byte what they
+    were before the protocol subsystem."""
     n = kernel.num_nodes
     sources = _chunk_sources(plan, rng, count, n)
     state = kernel.batch_init(count, rng)
+    pstate = pk.batch_state(count, sources)
 
     informed = np.zeros((count, n), dtype=bool)
     for i, src in enumerate(sources):
@@ -185,9 +241,17 @@ def _run_chunk_native(plan, kernel: BatchedDynamics,
     while active.any() and t < budget:
         act = np.flatnonzero(active)
         # -- inform across the edges of the time-t graphs ------------------
-        fresh = kernel.batch_neighborhood(state, informed, act)
+        members = pk.batch_active(pstate, informed, act, t, rng)
+        if members is None:
+            fresh = kernel.batch_neighborhood(state, informed, act)
+        else:
+            stacked = np.zeros_like(informed)
+            stacked[act] = members
+            fresh = (kernel.batch_neighborhood(state, stacked, act)
+                     & ~informed[act])
         informed[act] |= fresh
         t += 1
+        pk.batch_absorb(pstate, act, fresh, t)
         counts[act] = informed[act].sum(axis=1)
         count_log.append(counts.copy())
         newly_done = active & (counts == n)
@@ -196,6 +260,14 @@ def _run_chunk_native(plan, kernel: BatchedDynamics,
             completed |= newly_done
             active &= ~newly_done
             kernel.batch_retire(state, active)
+        if active.any():
+            act = np.flatnonzero(active)
+            stalled = pk.batch_stalled(pstate, informed, act, t)
+            if stalled is not None and stalled.any():
+                retired = act[stalled]
+                times[retired] = t  # completed stays False
+                active[retired] = False
+                kernel.batch_retire(state, active)
         if not active.any() or t >= budget:
             break
         # -- advance the still-active trial populations --------------------
@@ -207,16 +279,21 @@ def _run_chunk_native(plan, kernel: BatchedDynamics,
 
 def _run_chunk_native_generic(plan, rng: np.random.Generator,
                               count: int, budget: int) -> TrialEnsemble:
-    """Native fallback for families without batched population kernels:
-    per-trial model stepping with generators spawned from the chunk
-    stream (the replay-style loop, minus the replay stream layout)."""
+    """Native fallback for protocol/model pairs without composed batched
+    kernels: per-trial model stepping with generators spawned from the
+    chunk stream (the replay-style loop, minus the replay stream
+    layout).  Flooding spawns one stream per trial — the pre-protocol
+    layout, kept byte-stable — while protocols drawing per-round
+    randomness spawn a second block of per-trial protocol streams."""
     models = [plan.make_model() for _ in range(count)]
     n = models[0].num_nodes
     sources = _chunk_sources(plan, rng, count, n)
     for model, stream in zip(models, rng.spawn(count)):
         model.reset(stream)
+    rngs = (list(rng.spawn(count)) if plan.protocol.splits_seed else None)
     return _run_models_loop(models, sources, budget,
-                            plan.record_history, plan.record_informed)
+                            plan.record_history, plan.record_informed,
+                            plan.protocol, rngs)
 
 
 # ---------------------------------------------------------------------------
@@ -236,12 +313,16 @@ def run_chunk(payload: dict) -> TrialEnsemble:
     count = stop - start
     budget = payload["budget"]
     if plan.rng_mode == "replay":
-        return _run_chunk_replay(plan, payload["streams"], count, budget)
+        if plan.is_flooding:
+            return _run_chunk_replay(plan, payload["streams"], count, budget)
+        return _run_chunk_replay_protocol(plan, payload["trial_streams"],
+                                          count, budget)
     rng = np.random.default_rng(payload["chunk_seed"])
     template = plan.make_model()
     kernel = batched_dynamics_for(template)
-    if kernel.native_capable:
-        return _run_chunk_native(plan, kernel, rng, count, budget)
+    pk = batched_protocol_for(plan.protocol, template.num_nodes)
+    if kernel.native_capable and pk.native_capable:
+        return _run_chunk_native(plan, kernel, pk, rng, count, budget)
     return _run_chunk_native_generic(plan, rng, count, budget)
 
 

@@ -96,15 +96,30 @@ def fan_out_chunks(worker, payloads: Sequence[dict],
 
 
 def _run_serial(plan: SimulationPlan, root, budget: int) -> TrialEnsemble:
-    """Legacy per-trial loop (the bit-compatibility reference)."""
+    """Legacy per-trial loop (the bit-compatibility reference).
+
+    Flooding keeps its frozen ``spawn(seed, 2·trials)`` stream layout;
+    non-flooding protocols run :func:`repro.protocols.runner.spread`
+    over the per-trial ``derive_seed`` layout (see
+    :meth:`SimulationPlan.protocol_streams`).
+    """
     model = plan.make_model()
     n = model.num_nodes
-    streams = plan.replay_streams(root)
     results = []
-    for i in range(plan.trials):
-        rng_graph, rng_src = streams[2 * i], streams[2 * i + 1]
-        src = int(rng_src.integers(n)) if plan.source is None else plan.source
-        results.append(flood(model, src, seed=rng_graph, max_steps=budget))
+    if plan.is_flooding:
+        streams = plan.replay_streams(root)
+        for i in range(plan.trials):
+            rng_graph, rng_src = streams[2 * i], streams[2 * i + 1]
+            src = (int(rng_src.integers(n)) if plan.source is None
+                   else plan.source)
+            results.append(flood(model, src, seed=rng_graph, max_steps=budget))
+    else:
+        from repro.protocols.runner import draw_trial_source, spread
+
+        for run_seed, source_seed in plan.protocol_streams(root, 0, plan.trials):
+            src = draw_trial_source(plan.source, n, source_seed)
+            results.append(spread(plan.protocol, model, src, seed=run_seed,
+                                  max_steps=budget))
     ensemble = TrialEnsemble.from_results(results, num_nodes=n)
     if plan.record_history and plan.record_informed:
         return ensemble
@@ -122,11 +137,14 @@ def _run_serial(plan: SimulationPlan, root, budget: int) -> TrialEnsemble:
 
 def _chunk_payloads(plan: SimulationPlan, root, budget: int) -> list[dict]:
     payloads = []
-    streams = plan.replay_streams(root) if plan.rng_mode == "replay" else None
+    replay = plan.rng_mode == "replay"
+    streams = plan.replay_streams(root) if replay and plan.is_flooding else None
     for start, stop in plan.chunk_ranges():
         payload = {"plan": plan, "range": (start, stop), "budget": budget}
         if streams is not None:
             payload["streams"] = streams[2 * start:2 * stop]
+        elif replay:
+            payload["trial_streams"] = plan.protocol_streams(root, start, stop)
         else:
             payload["chunk_seed"] = plan.native_chunk_seed(root, start)
         payloads.append(payload)

@@ -37,6 +37,7 @@ from typing import Callable, Iterator, Sequence
 import numpy as np
 
 from repro.dynamics.base import EvolvingGraph
+from repro.protocols.base import FLOODING, Flooding, SpreadingProtocol
 from repro.util.rng import SeedLike, derive_seed
 from repro.util.validation import require, require_positive_int
 
@@ -81,6 +82,16 @@ class SimulationPlan:
         Root of the deterministic seed tree (see the module docstring).
     rng_mode:
         ``"replay"`` or ``"native"``.
+    protocol:
+        The information-spreading process to run — a
+        :class:`~repro.protocols.base.SpreadingProtocol` instance or a
+        registry token (``"push-pull"``, ``"p-flood:transmit_probability=0.3"``,
+        ...).  Defaults to flooding, whose stream layouts (and
+        therefore every pre-protocol result and campaign cache key)
+        are unchanged.  Non-flooding protocols replay the
+        ``derive_seed`` per-trial layout of
+        :func:`repro.protocols.runner.spreading_trials` instead — see
+        :meth:`protocol_streams`.
     chunk_size:
         Trials per batch chunk (also the parallel work unit).
     record_history / record_informed:
@@ -96,6 +107,7 @@ class SimulationPlan:
     max_steps: int | None = None
     seed: SeedLike = None
     rng_mode: str = "replay"
+    protocol: "SpreadingProtocol | str" = FLOODING
     chunk_size: int = DEFAULT_CHUNK_SIZE
     record_history: bool = True
     record_informed: bool = True
@@ -108,7 +120,17 @@ class SimulationPlan:
         require_positive_int(self.trials, "trials")
         require(self.rng_mode in RNG_MODES,
                 f"rng_mode must be one of {RNG_MODES}")
+        if not isinstance(self.protocol, SpreadingProtocol):
+            from repro.protocols.registry import resolve_protocol
+            object.__setattr__(self, "protocol",
+                               resolve_protocol(self.protocol))
         require_positive_int(self.chunk_size, "chunk_size")
+
+    @property
+    def is_flooding(self) -> bool:
+        """Whether the plan runs plain flooding (the frozen legacy
+        stream layouts; subclassed protocols never qualify)."""
+        return type(self.protocol) is Flooding
 
     # -- model construction -------------------------------------------------
 
@@ -126,6 +148,18 @@ class SimulationPlan:
         pairs per trial, spawned from *root* exactly like
         :func:`repro.core.flooding.flooding_trials` does from its seed."""
         return [np.random.default_rng(child) for child in root.spawn(2 * self.trials)]
+
+    def protocol_streams(self, root: np.random.SeedSequence, start: int,
+                         stop: int) -> list[tuple[int, int]]:
+        """Per-trial ``(run_seed, source_seed)`` integers of trials
+        ``start .. stop - 1`` — the replay layout of non-flooding
+        protocols, identical to the serial
+        :func:`repro.protocols.runner.spreading_trials` discipline (so
+        the same master seed couples graph realisations across
+        protocols, trial by trial)."""
+        from repro.protocols.runner import protocol_trial_streams
+
+        return protocol_trial_streams(root, start, stop)
 
     def native_chunk_seed(self, root: np.random.SeedSequence, start: int) -> int:
         """Deterministic 63-bit seed of the chunk starting at trial *start*."""

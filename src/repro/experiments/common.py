@@ -62,6 +62,12 @@ class ExperimentConfig:
         ``parallel`` fans chunks out over worker processes.
     jobs:
         Worker count for the parallel backend (``--jobs``).
+    protocol:
+        Spreading-protocol token for protocol-aware experiments
+        (``--protocol``); ``"flooding"`` (the default) keeps every
+        experiment exactly what it was before the protocol subsystem.
+        Tokens resolve through :func:`repro.protocols.resolve_protocol`
+        (``"push-pull"``, ``"p-flood:transmit_probability=0.3"``, ...).
     """
 
     seed: int = DEFAULT_SEED
@@ -70,6 +76,7 @@ class ExperimentConfig:
     trials: int | None = None
     backend: str = "serial"
     jobs: int | None = None
+    protocol: str = "flooding"
 
     def __post_init__(self) -> None:
         require(self.scale in _SCALES, f"scale must be one of {_SCALES}")
@@ -78,6 +85,7 @@ class ExperimentConfig:
         require(self.trials is None or int(self.trials) >= 1,
                 "trials override must be >= 1")
         require(self.jobs is None or int(self.jobs) >= 1, "jobs must be >= 1")
+        self.protocol_instance()  # fail fast on unknown tokens/params
 
     def pick(self, quick: T, standard: T, full: T) -> T:
         """Select a value by scale."""
@@ -90,13 +98,25 @@ class ExperimentConfig:
 
     def flood_kwargs(self) -> dict[str, Any]:
         """Keyword arguments routing a ``flooding_trials`` /
-        ``protocol_trials`` call through the configured backend."""
+        ``protocol_trials`` / ``spreading_trials`` call through the
+        configured backend."""
         if self.backend == "native":
             return {"backend": "batched", "rng_mode": "native"}
         kwargs: dict[str, Any] = {"backend": self.backend}
         if self.backend == "parallel":
             kwargs["jobs"] = self.jobs
         return kwargs
+
+    def protocol_instance(self):
+        """The configured spreading protocol, resolved from its token."""
+        from repro.protocols import resolve_protocol
+        return resolve_protocol(self.protocol)
+
+    def protocol_token(self) -> str:
+        """Canonical token of the configured protocol — the spelling the
+        campaign cache key records (``"flooding"`` is never recorded:
+        the default keeps pre-protocol keys byte-identical)."""
+        return self.protocol_instance().token()
 
     def stream_contract(self) -> str:
         """The backend-independent identity of this config's randomness.
@@ -146,6 +166,14 @@ def add_run_arguments(parser: argparse.ArgumentParser) -> None:
                              "bit-identical (and share campaign cache keys "
                              "with parallel); native uses the fast batched "
                              "kernels on its own stream layout")
+    parser.add_argument("--protocol", default="flooding",
+                        help="spreading protocol for protocol-aware "
+                             "experiments (E16): a registry token such as "
+                             "flooding, push, pull, push-pull, p-flood, "
+                             "expiring, with optional parameters as "
+                             "name:key=value,... (e.g. "
+                             "p-flood:transmit_probability=0.3); non-default "
+                             "protocols get their own campaign cache keys")
 
 
 def expand_ids(tokens: Sequence[str]) -> list[str]:

@@ -46,6 +46,8 @@ EXPERIMENTS: dict[str, tuple[str, str]] = {
             "Flooding as the fastest broadcast baseline (protocol zoo)"),
     "E15": ("repro.experiments.e15_diameter_vs_flooding",
             "Section 1: constant diameter yet Theta(n) flooding (adversary)"),
+    "E16": ("repro.experiments.e16_protocol_families",
+            "Protocol zoo across model families (registry-dispatched)"),
 }
 
 

@@ -142,7 +142,8 @@ def main(argv: list[str] | None = None) -> int:
     ids = expand_ids(args.experiments)
     config = ExperimentConfig(seed=args.seed, scale=args.scale,
                               output_dir=args.output, trials=args.trials,
-                              backend=args.backend, jobs=args.jobs)
+                              backend=args.backend, jobs=args.jobs,
+                              protocol=args.protocol)
     inconsistent = run_many(ids, config, results_dir=args.results_dir,
                             force=args.force)
     return 1 if inconsistent else 0

@@ -1,0 +1,69 @@
+"""repro.protocols — pluggable information-spreading protocols.
+
+The process counterpart of the :class:`~repro.dynamics.batched.BatchedDynamics`
+model-kernel inversion: the *spreading process* itself is a plug-in.
+
+* :class:`~repro.protocols.base.SpreadingProtocol` — the four-rule
+  serial interface (state init / activation / transmission / retire),
+  with :class:`~repro.protocols.base.Flooding` as the default protocol
+  (bit-identical to the legacy serial flood).
+* :mod:`~repro.protocols.zoo` — push gossip, pull gossip, push–pull,
+  probabilistic p-flooding, and expiring (SIR-style) flooding.
+* :mod:`~repro.protocols.batched` — ``(B, n)`` protocol kernels and
+  the MRO-walking registry the engine dispatches through
+  (:func:`~repro.protocols.batched.batched_protocol_for`).
+* :mod:`~repro.protocols.registry` — canonical protocol tokens for the
+  CLI (``--protocol``), sweep grids, and campaign cache keys
+  (:func:`~repro.protocols.registry.resolve_protocol`).
+* :mod:`~repro.protocols.runner` — the serial reference
+  (:func:`~repro.protocols.runner.spread`) and engine-backed trial
+  batches (:func:`~repro.protocols.runner.spreading_trials`).
+
+See DESIGN.md ("The protocol subsystem") for the kernel table, the
+backend/stream semantics, and the cache-key rules.
+"""
+
+from repro.protocols.base import FLOODING, Flooding, SpreadingProtocol
+from repro.protocols.batched import (
+    BatchedProtocol,
+    GenericBatchedProtocol,
+    batched_protocol_for,
+    register_batched_protocol,
+    registered_protocol_families,
+)
+from repro.protocols.registry import (
+    default_zoo,
+    protocol_names,
+    register_protocol,
+    resolve_protocol,
+)
+from repro.protocols.runner import spread, spreading_trials
+from repro.protocols.zoo import (
+    ExpiringFlooding,
+    ProbabilisticFlooding,
+    PullGossip,
+    PushGossip,
+    PushPullGossip,
+)
+
+__all__ = [
+    "FLOODING",
+    "Flooding",
+    "SpreadingProtocol",
+    "ProbabilisticFlooding",
+    "ExpiringFlooding",
+    "PushGossip",
+    "PullGossip",
+    "PushPullGossip",
+    "BatchedProtocol",
+    "GenericBatchedProtocol",
+    "batched_protocol_for",
+    "register_batched_protocol",
+    "registered_protocol_families",
+    "register_protocol",
+    "protocol_names",
+    "resolve_protocol",
+    "default_zoo",
+    "spread",
+    "spreading_trials",
+]

@@ -1,0 +1,294 @@
+"""Batched protocol kernels and their dispatch registry.
+
+The protocol counterpart of :mod:`repro.dynamics.batched`: the engine
+advances ``B`` trials as one ``(B, n)`` informed matrix, and everything
+*protocol*-specific — which nodes transmit, what they reach, when the
+process stalls — arrives through a :class:`BatchedProtocol` provider
+looked up in an MRO-walking registry (:func:`batched_protocol_for`).
+Protocol families register a kernel factory next to their protocol
+class; plain subclasses (a re-parameterised p-flood, say) inherit their
+family's kernel, and unregistered protocols always work through the
+:class:`GenericBatchedProtocol` fallback, which drives the serial
+per-round rules trial by trial.
+
+Two contracts, mirroring the dynamics kernels:
+
+replay (always available)
+    :meth:`BatchedProtocol.replay_round` serves one live trial with its
+    own protocol generator and must be **bit-identical** to the serial
+    reference loop :func:`repro.protocols.runner.spread` — same draws,
+    same masks.  Mask-composing kernels route the neighborhood query
+    through the model family's
+    :meth:`~repro.dynamics.batched.BatchedDynamics.replay_neighborhood`
+    (exact by the dynamics contract), so protocol replay inherits every
+    family's fast replay query.
+
+native (optional, ``native_capable = True``)
+    The protocol's transmissions are expressed as a *member-set*
+    neighborhood query: :meth:`BatchedProtocol.batch_active` returns the
+    transmitting member rows for the active trials, the engine answers
+    them through the dynamics kernel's ``batch_neighborhood``, and
+    :meth:`batch_absorb` / :meth:`batch_stalled` maintain the ``(B, n)``
+    protocol state.  Flooding, p-flooding, and expiring flooding
+    compose this way with **every** native dynamics kernel (edge,
+    geometric, mobility); per-node sampling protocols (push / pull /
+    push–pull) have no member-set form, so their native runs use the
+    engine's per-trial fallback with chunk-spawned streams.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.dynamics.base import EvolvingGraph
+from repro.dynamics.batched import BatchedDynamics
+from repro.protocols.base import Flooding, SpreadingProtocol
+from repro.protocols.zoo import (
+    ExpiringFlooding,
+    ProbabilisticFlooding,
+    PullGossip,
+    PushGossip,
+    PushPullGossip,
+)
+from repro.util.validation import require
+
+__all__ = [
+    "BatchedProtocol",
+    "GenericBatchedProtocol",
+    "FloodingBatched",
+    "register_batched_protocol",
+    "batched_protocol_for",
+    "registered_protocol_families",
+]
+
+
+class BatchedProtocol:
+    """Batched kernel provider for one protocol family.
+
+    Constructed from a protocol instance and the model size ``n``; one
+    provider serves one chunk of trials.  Per-chunk mutable protocol
+    state lives in the objects returned by :meth:`trial_state` (replay,
+    one per trial) or :meth:`batch_state` (native, ``(B, ...)`` arrays)
+    and is threaded back through the other hooks.
+    """
+
+    #: Whether the protocol's transmissions reduce to a member-set
+    #: neighborhood query (the native composition above).  ``False``
+    #: routes native runs to the engine's per-trial fallback.
+    native_capable: bool = False
+
+    def __init__(self, protocol: SpreadingProtocol, num_nodes: int) -> None:
+        self.protocol = protocol
+        self.num_nodes = num_nodes
+
+    # -- replay contract ----------------------------------------------------
+
+    def trial_state(self, sources: Sequence[int]) -> Any:
+        """Protocol state of one fresh trial."""
+        return self.protocol.state_init(self.num_nodes, sources)
+
+    def replay_round(self, dyn: BatchedDynamics, model: EvolvingGraph,
+                     state: Any, informed: np.ndarray, t: int,
+                     rng: np.random.Generator | None) -> np.ndarray:
+        """One round of one live trial: the fresh mask it produces.
+
+        The default drives the serial rules against the model's own
+        snapshot — always correct, and the baseline every specialised
+        kernel must match bit for bit.
+        """
+        protocol = self.protocol
+        active = protocol.active_mask(state, informed, t, rng)
+        return protocol.transmit(model.snapshot(), state, informed, active,
+                                 t, rng)
+
+    def absorb(self, state: Any, fresh: np.ndarray, t: int) -> None:
+        """Replay-side state update for nodes informed at time *t*."""
+        self.protocol.absorb(state, fresh, t)
+
+    def stalled(self, state: Any, informed: np.ndarray, t: int) -> bool:
+        """Replay-side retire predicate after round *t*."""
+        return self.protocol.stalled(state, informed, t)
+
+    # -- native contract ----------------------------------------------------
+
+    def batch_state(self, count: int,
+                    sources: Sequence[Sequence[int]]) -> Any:
+        """Protocol state of *count* trials as stacked arrays."""
+        raise NotImplementedError(
+            f"{type(self).__name__} provides no native kernels")
+
+    def batch_active(self, state: Any, informed: np.ndarray,
+                     act: np.ndarray, t: int,
+                     rng: np.random.Generator) -> np.ndarray | None:
+        """Transmitting member rows ``(len(act), n)`` of the active trials.
+
+        ``None`` means "the informed rows themselves" — the engine then
+        hands the informed matrix to the dynamics kernel unchanged,
+        which keeps flooding's native draws byte-for-byte what they
+        were before the protocol subsystem existed.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} provides no native kernels")
+
+    def batch_absorb(self, state: Any, act: np.ndarray, fresh: np.ndarray,
+                     t: int) -> None:
+        """Native state update: *fresh* rows of the *act* trials were
+        informed at time *t*.  Default: no-op (stateless protocols)."""
+
+    def batch_stalled(self, state: Any, informed: np.ndarray,
+                      act: np.ndarray, t: int) -> np.ndarray | None:
+        """Per-trial retire mask ``(len(act),)`` after round *t*, or
+        ``None`` when the protocol never stalls."""
+        return None
+
+
+class GenericBatchedProtocol(BatchedProtocol):
+    """Fallback provider for unregistered protocol families.
+
+    Replay rounds drive the serial per-round rules against each trial's
+    snapshot (exact by definition); there are no native kernels, so the
+    engine steps per-trial models with generators spawned from the
+    chunk stream instead.
+    """
+
+    native_capable = False
+
+
+# ---------------------------------------------------------------------------
+# built-in kernels
+# ---------------------------------------------------------------------------
+
+class FloodingBatched(BatchedProtocol):
+    """Flooding kernel: the identity composition.
+
+    Replay rounds are exactly the pre-registry engine query —
+    ``dyn.replay_neighborhood(model, informed)`` — and the native hooks
+    hand the informed matrix through untouched, so both stream layouts
+    reproduce the pre-PR flooding results byte for byte.
+    """
+
+    native_capable = True
+
+    def replay_round(self, dyn, model, state, informed, t, rng):
+        return dyn.replay_neighborhood(model, informed)
+
+    def batch_state(self, count, sources):
+        return None
+
+    def batch_active(self, state, informed, act, t, rng):
+        return None  # transmit the informed rows themselves
+
+
+class _MaskProtocolBatched(BatchedProtocol):
+    """Shared kernel for protocols whose round is ``N(active) & ~informed``
+    with a per-round activation mask (p-flooding, expiring flooding)."""
+
+    native_capable = True
+
+    def replay_round(self, dyn, model, state, informed, t, rng):
+        active = self.protocol.active_mask(state, informed, t, rng)
+        if not active.any():
+            return np.zeros(informed.shape[0], dtype=bool)
+        # The family's exact replay query (bit-identical to the
+        # snapshot path by the dynamics contract) on the *active* set.
+        return dyn.replay_neighborhood(model, active) & ~informed
+
+    def batch_state(self, count, sources):
+        return None
+
+
+class ProbabilisticFloodingBatched(_MaskProtocolBatched):
+    """p-flooding kernel: one Bernoulli ``(B, n)`` draw per round."""
+
+    def batch_active(self, state, informed, act, t, rng):
+        p = self.protocol.transmit_probability
+        draws = rng.random((act.shape[0], self.num_nodes))
+        return informed[act] & (draws < p)
+
+
+class ExpiringFloodingBatched(_MaskProtocolBatched):
+    """Expiring-flooding kernel: an ``(B, n)`` informed-at clock."""
+
+    def batch_state(self, count, sources):
+        informed_at = np.full((count, self.num_nodes), -1, dtype=np.int64)
+        for i, src in enumerate(sources):
+            informed_at[i, list(src)] = 0
+        return informed_at
+
+    def batch_active(self, state, informed, act, t, rng):
+        k = self.protocol.active_steps
+        return informed[act] & (state[act] > t - k)
+
+    def batch_absorb(self, state, act, fresh, t):
+        rows = state[act]
+        rows[fresh] = t
+        state[act] = rows
+
+    def batch_stalled(self, state, informed, act, t):
+        k = self.protocol.active_steps
+        return ~(informed[act] & (state[act] > t - k)).any(axis=1)
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+#: Registered kernel factories, keyed by protocol class.  A factory
+#: maps ``(protocol, num_nodes)`` to a provider, or to ``None`` to
+#: decline the instance (the lookup then continues up the MRO).
+ProtocolKernelFactory = Callable[[SpreadingProtocol, int],
+                                 Optional[BatchedProtocol]]
+
+_REGISTRY: dict[type, ProtocolKernelFactory] = {}
+
+
+def register_batched_protocol(protocol_type: type,
+                              factory: ProtocolKernelFactory) -> None:
+    """Register *factory* as the kernel provider for *protocol_type*.
+
+    Covers subclasses via MRO dispatch, exactly like
+    :func:`repro.dynamics.batched.register_batched_dynamics`: a lookup
+    for a subclass finds the nearest registered ancestor, and
+    re-registering a class replaces its factory (idempotent imports).
+    """
+    require(isinstance(protocol_type, type)
+            and issubclass(protocol_type, SpreadingProtocol),
+            "protocol_type must be a SpreadingProtocol subclass")
+    _REGISTRY[protocol_type] = factory
+
+
+def batched_protocol_for(protocol: SpreadingProtocol,
+                         num_nodes: int) -> BatchedProtocol:
+    """The kernel provider serving *protocol*'s family on ``n`` nodes.
+
+    Walks ``type(protocol).__mro__`` for the nearest registered factory
+    that accepts the instance; falls back to
+    :class:`GenericBatchedProtocol` when none does.  Never returns
+    ``None`` — every protocol is at least generically simulable.
+    """
+    for cls in type(protocol).__mro__:
+        factory = _REGISTRY.get(cls)
+        if factory is not None:
+            provider = factory(protocol, num_nodes)
+            if provider is not None:
+                return provider
+    return GenericBatchedProtocol(protocol, num_nodes)
+
+
+def registered_protocol_families() -> tuple[type, ...]:
+    """Protocol classes with registered kernel factories (docs/tests)."""
+    return tuple(_REGISTRY)
+
+
+# Built-in registrations.  Push/pull/push–pull transmit by per-node
+# neighbor sampling — no member-set form, hence no native kernels; the
+# generic provider already runs their vectorised serial rules per
+# trial, so registering it simply documents the family.
+register_batched_protocol(Flooding, FloodingBatched)
+register_batched_protocol(ProbabilisticFlooding, ProbabilisticFloodingBatched)
+register_batched_protocol(ExpiringFlooding, ExpiringFloodingBatched)
+register_batched_protocol(PushGossip, GenericBatchedProtocol)
+register_batched_protocol(PullGossip, GenericBatchedProtocol)
+register_batched_protocol(PushPullGossip, GenericBatchedProtocol)

@@ -159,3 +159,111 @@ class TestKernelRefactorKeyStability:
         native = plan_experiments(["E11", "E12"],
                                   ExperimentConfig(backend="native"))
         assert not set(replay.keys()) & set(native.keys())
+
+
+class TestProtocolKeyStability:
+    """The protocol subsystem must not invalidate pre-PR flooding stores.
+
+    Flooding routed through the protocol registry is bit-identical to
+    the pre-registry serial flood (enforced seed-for-seed in
+    ``tests/protocols/``), so default-flooding work units must hash to
+    **exactly** the keys they hashed to before the ``protocol`` spec
+    field existed — the field is omitted for flooding, never written.
+    Non-flooding protocols record their canonical token and get keys of
+    their own that can never alias a flooding entry.
+    """
+
+    # unit_key values computed immediately before the protocol field
+    # was added to the spec (PR 4).  If any hash moves, previously
+    # stored campaign results silently recompute.
+    FLOODING_KEYS = {
+        ("E4", "serial"):
+            "fa5880e164ccdc7bd71873273f542f6684c5d81a0e0674e2060c4c2999ef8d9c",
+        ("E4", "native"):
+            "0b97101dbab8ca715c5f9496ec1593bd21fefa58047eccec115515e0f6980457",
+        ("E8", "serial"):
+            "0880fb475638bffcd88bcf46831717b9c97bb79be7120959cc2593111655f33b",
+        ("E8", "native"):
+            "a90eadadfd6c13a1800fba29b986cb2e407343ca75b968166512d11b96612d33",
+        ("E14", "serial"):
+            "2df33a6b425ecd15eb231a391e2a6fe6ab26b7007bdf2a5f19c498ab3a424752",
+        ("E14", "native"):
+            "2799f86fe58f557e800e79546171d61a7754f3bd078b5fd154f42e776f3ae01f",
+    }
+
+    def test_spec_version_still_one(self):
+        from repro.campaign.plan import _SPEC_VERSION
+        assert _SPEC_VERSION == 1, (
+            "flooding through the protocol registry is bit-identical; "
+            "bump v only on semantic simulator changes")
+
+    def test_default_flooding_keys_are_frozen(self):
+        for (eid, backend), want in self.FLOODING_KEYS.items():
+            plan = plan_experiments([eid], ExperimentConfig(backend=backend))
+            assert plan.keys() == [want], (eid, backend)
+
+    def test_flooding_never_writes_the_protocol_field(self):
+        for backend in ("serial", "batched", "parallel", "native"):
+            config = ExperimentConfig(backend=backend, protocol="flooding")
+            spec = plan_experiments(["E8"], config).units[0].spec
+            assert "protocol" not in spec
+
+    def test_protocol_oblivious_experiments_ignore_the_protocol(self):
+        """--protocol on an experiment that does not consume it must not
+        relabel or recompute the cached flooding work."""
+        base = plan_experiments(["E8"], ExperimentConfig())
+        relabeled = plan_experiments(
+            ["E8"], ExperimentConfig(protocol="push-pull"))
+        assert relabeled.keys() == base.keys()
+        assert "protocol" not in relabeled.units[0].spec
+        assert relabeled.units[0].payload["config"]["protocol"] == "flooding"
+
+    def test_non_flooding_protocols_get_their_own_keys(self):
+        base = plan_experiments(["E16"], ExperimentConfig()).keys()
+        seen = set(base)
+        for token in ("push", "push-pull", "p-flood",
+                      "p-flood:transmit_probability=0.3",
+                      "expiring", "expiring:active_steps=5"):
+            keys = plan_experiments(
+                ["E16"], ExperimentConfig(protocol=token)).keys()
+            assert keys != base
+            assert not seen & set(keys), f"{token} aliases another protocol"
+            seen |= set(keys)
+
+    def test_protocol_tokens_are_canonical_in_the_spec(self):
+        """Parameter defaults spelled or omitted must hash identically."""
+        explicit = plan_experiments(
+            ["E16"],
+            ExperimentConfig(protocol="p-flood:transmit_probability=0.5"))
+        implicit = plan_experiments(["E16"],
+                                    ExperimentConfig(protocol="p-flood"))
+        assert explicit.keys() == implicit.keys()
+        spec = explicit.units[0].spec
+        assert spec["protocol"] == "p-flood(transmit_probability=0.5)"
+
+    def test_numeric_spellings_hash_identically(self):
+        """int/float spellings of the same parameter are one token —
+        one cache key, no silent store forking."""
+        as_int = plan_experiments(
+            ["E16"], ExperimentConfig(protocol="p-flood:transmit_probability=1"))
+        as_float = plan_experiments(
+            ["E16"],
+            ExperimentConfig(protocol="p-flood:transmit_probability=1.0"))
+        assert as_int.keys() == as_float.keys()
+        expiring_float = plan_experiments(
+            ["E16"], ExperimentConfig(protocol="expiring:active_steps=2.0"))
+        expiring_default = plan_experiments(
+            ["E16"], ExperimentConfig(protocol="expiring"))
+        assert expiring_float.keys() == expiring_default.keys()
+
+    def test_protocol_and_stream_key_independently(self):
+        replay = plan_experiments(["E16"],
+                                  ExperimentConfig(protocol="push-pull"))
+        native = plan_experiments(
+            ["E16"], ExperimentConfig(protocol="push-pull", backend="native"))
+        assert replay.keys() != native.keys()
+
+    def test_unknown_protocol_rejected_at_planning(self):
+        with pytest.raises(ValueError, match="unknown protocol"):
+            plan_experiments(["E16"],
+                             ExperimentConfig(protocol="smoke-signals"))

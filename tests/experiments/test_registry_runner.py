@@ -28,9 +28,9 @@ class TestConfig:
 
 
 class TestRegistry:
-    def test_fifteen_experiments(self):
-        assert len(EXPERIMENTS) == 15
-        assert list(all_ids()) == [f"E{i}" for i in range(1, 16)]
+    def test_sixteen_experiments(self):
+        assert len(EXPERIMENTS) == 16
+        assert list(all_ids()) == [f"E{i}" for i in range(1, 17)]
 
     @pytest.mark.parametrize("raw,expected", [
         ("e4", "E4"), ("E04", "E4"), (" e10 ", "E10"), ("E1", "E1"),

@@ -1,0 +1,125 @@
+"""Dispatch tests for the BatchedProtocol registry.
+
+Mirrors ``tests/engine/test_kernel_registry.py`` on the protocol axis:
+MRO dispatch (subclasses inherit their family's kernel), factory
+decline, the generic fallback, and the native-capability routing the
+engine relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+import numpy as np
+import pytest
+
+from repro.edgemeg.meg import EdgeMEG
+from repro.engine.testing import assert_results_bit_identical as assert_bit_identical
+from repro.protocols import (
+    FLOODING,
+    ExpiringFlooding,
+    Flooding,
+    ProbabilisticFlooding,
+    PushPullGossip,
+    SpreadingProtocol,
+    batched_protocol_for,
+    register_batched_protocol,
+    registered_protocol_families,
+    spreading_trials,
+)
+from repro.protocols.batched import (
+    BatchedProtocol,
+    FloodingBatched,
+    GenericBatchedProtocol,
+)
+
+
+@dataclass(frozen=True)
+class TunedPFlood(ProbabilisticFlooding):
+    """Plain re-parameterisation: must inherit the p-flood kernel."""
+
+    transmit_probability: float = 0.25
+
+    name: ClassVar[str] = "tuned-p-flood"
+
+
+@dataclass(frozen=True)
+class UnregisteredProtocol(SpreadingProtocol):
+    """A fresh protocol family nobody registered a kernel for."""
+
+    name: ClassVar[str] = "unregistered"
+
+    def transmit(self, snapshot, state, informed, active, t, rng):
+        return snapshot.neighborhood_mask(informed)
+
+
+class TestDispatch:
+    def test_flooding_gets_the_identity_kernel(self):
+        assert isinstance(batched_protocol_for(FLOODING, 8), FloodingBatched)
+
+    def test_builtins_are_registered(self):
+        assert Flooding in registered_protocol_families()
+        assert ProbabilisticFlooding in registered_protocol_families()
+        assert ExpiringFlooding in registered_protocol_families()
+
+    def test_subclass_inherits_family_kernel(self):
+        kernel = batched_protocol_for(TunedPFlood(), 8)
+        assert kernel.native_capable
+        assert type(kernel).__name__ == "ProbabilisticFloodingBatched"
+
+    def test_unregistered_family_falls_back(self):
+        kernel = batched_protocol_for(UnregisteredProtocol(), 8)
+        assert type(kernel) is GenericBatchedProtocol
+        assert not kernel.native_capable
+
+    def test_sampling_protocols_are_not_native(self):
+        assert not batched_protocol_for(PushPullGossip(), 8).native_capable
+
+    def test_factory_can_decline(self):
+        @dataclass(frozen=True)
+        class Declined(ProbabilisticFlooding):
+            name: ClassVar[str] = "declined"
+
+        register_batched_protocol(Declined, lambda protocol, n: None)
+        try:
+            # Declined by its own factory, served by the parent family's.
+            kernel = batched_protocol_for(Declined(), 8)
+            assert kernel.native_capable
+        finally:
+            register_batched_protocol(Declined,
+                                      lambda protocol, n: None)  # harmless
+
+    def test_non_protocol_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_batched_protocol(int, lambda protocol, n: None)
+
+
+class TestFallbackCorrectness:
+    def test_unregistered_protocol_rides_every_backend(self):
+        """The generic provider must make any protocol engine-runnable,
+        replay bit-identical to serial."""
+        meg = EdgeMEG(16, 0.3, 0.3)
+        protocol = UnregisteredProtocol()
+        serial = spreading_trials(protocol, meg, trials=4, seed=3)
+        batched = spreading_trials(protocol, meg, trials=4, seed=3,
+                                   backend="batched", chunk_size=2)
+        assert_bit_identical(serial, batched)
+        native = spreading_trials(protocol, meg, trials=4, seed=3,
+                                  backend="batched", rng_mode="native")
+        again = spreading_trials(protocol, meg, trials=4, seed=3,
+                                 backend="batched", rng_mode="native")
+        assert_bit_identical(native, again)
+
+    def test_inherited_kernel_is_exact_for_subclass(self):
+        meg = EdgeMEG(20, 0.2, 0.4)
+        serial = spreading_trials(TunedPFlood(), meg, trials=4, seed=7)
+        batched = spreading_trials(TunedPFlood(), meg, trials=4, seed=7,
+                                   backend="batched")
+        assert_bit_identical(serial, batched)
+        # ...and identical to the parent class at the same parameter:
+        # same kernel, same draws, different class is irrelevant.
+        parent = spreading_trials(ProbabilisticFlooding(0.25), meg,
+                                  trials=4, seed=7)
+        np.testing.assert_array_equal(
+            [r.time for r in serial], [r.time for r in parent])
