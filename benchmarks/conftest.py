@@ -2,9 +2,16 @@
 
 Run with::
 
-    pytest benchmarks/ --benchmark-only
+    pytest benchmarks/ --benchmark-only      # timed, via pytest-benchmark
+    python -m repro.bench run --suite micro  # timed, via the harness
 
-Each ``test_bench_eNN_*`` regenerates one experiment table (at quick
-scale, so the whole suite stays laptop-friendly); the ``micro`` benches
-time the hot kernels the simulators are built on.
+Every file here is a thin pytest wrapper over a case registered with
+:mod:`repro.bench` — the machine-readable benchmark harness.  The
+``test_bench_eNN_*`` wrappers regenerate one experiment table each (at
+quick scale, so the whole suite stays laptop-friendly); the ``micro``
+wrappers time the hot kernels the simulators are built on; the
+acceptance tests assert the registered speedup floors.  The harness
+CLI times the same registered workloads, writes schema-versioned
+``BENCH_<suite>.json`` artifacts, and gates them against the baselines
+under ``benchmarks/baselines/`` (see the DESIGN.md bench section).
 """

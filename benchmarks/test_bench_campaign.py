@@ -1,33 +1,28 @@
 """Campaign-layer acceptance: warm cache speedup and exact resume.
 
-The headline acceptance criteria of the campaign subsystem:
-
-* a **warm re-run** of a fully cached quick-scale campaign must complete
-  at least ``MIN_WARM_SPEEDUP``x faster than the cold run that populated
-  the store (it does no simulation — only store fetches), and
-* **resume after a kill** (here: a store with holes punched into it,
-  exactly what a SIGKILL between checkpoints leaves behind; the live
-  SIGKILL variant runs in ``tests/campaign/test_resume.py``) must
-  reproduce the uninterrupted campaign's stored results **bit-for-bit**.
+The warm-speedup half is a thin wrapper over the ``campaign`` harness
+suite (:mod:`repro.bench.workloads.campaign`): a warm re-run of a fully
+cached quick-scale campaign does no simulation — only store fetches —
+and must beat the cold run that populated the store by the registered
+10x floor.  The resume half stays a plain test: a store with holes
+punched into it (exactly what a SIGKILL between checkpoints leaves
+behind; the live SIGKILL variant runs in
+``tests/campaign/test_resume.py``) must reproduce the uninterrupted
+campaign's stored results **bit-for-bit**.
 """
 
 from __future__ import annotations
 
 import json
 
+from repro.bench import run_showdown
+from repro.bench.workloads.campaign import IDS
 from repro.campaign.plan import plan_experiments
 from repro.campaign.query import fetch_result
 from repro.campaign.scheduler import run_campaign
 from repro.campaign.store import ResultStore
 from repro.experiments.common import ExperimentConfig
-from repro.util.timing import Timer
 
-#: Acceptance threshold: cold wall-clock over warm wall-clock.
-MIN_WARM_SPEEDUP = 10.0
-
-#: A quick-scale campaign with enough compute to make the cold run
-#: meaningfully slower than pure store fetches.
-IDS = ["E2", "E7", "E13"]
 QUICK = ExperimentConfig(scale="quick")
 
 
@@ -36,26 +31,12 @@ def _result_bytes(store: ResultStore, plan) -> list[str]:
             for unit in plan]
 
 
-def test_campaign_warm_rerun_speedup(tmp_path):
+def test_campaign_warm_rerun_speedup():
     """The ISSUE acceptance criterion: warm re-run >= 10x over cold."""
-    store = ResultStore(tmp_path / "store")
-    plan = plan_experiments(IDS, QUICK)
-
-    with Timer() as cold_timer:
-        cold = run_campaign(plan, store, jobs=1)
-    assert len(cold.computed) == len(IDS) and not cold.fetched
-
-    with Timer() as warm_timer:
-        warm = run_campaign(plan, store, jobs=1)
-    assert len(warm.fetched) == len(IDS) and not warm.computed
-    assert warm.results == cold.results
-
-    speedup = cold_timer.elapsed / warm_timer.elapsed
-    print(f"\ncampaign cold {cold_timer.elapsed * 1e3:.1f} ms, "
-          f"warm {warm_timer.elapsed * 1e3:.1f} ms -> {speedup:.1f}x")
-    assert speedup >= MIN_WARM_SPEEDUP, (
-        f"warm campaign re-run reached only {speedup:.2f}x over cold "
-        f"(need >= {MIN_WARM_SPEEDUP}x)")
+    showdown = run_showdown(["campaign/cold", "campaign/warm"])
+    print(f"\ncampaign {'+'.join(IDS)} at quick scale:")
+    print(showdown.table)
+    assert not showdown.failures, "\n".join(showdown.failures)
 
 
 def test_campaign_resume_after_kill_is_bit_identical(tmp_path):

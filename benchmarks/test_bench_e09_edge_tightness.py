@@ -1,15 +1,14 @@
 """Bench E9 — Thm 4.4 / Cor 4.5 lower bound + band.
 
-Regenerates the E9 table at quick scale and times the regeneration.
+Thin pytest wrapper: the workload, its quick-scale configuration, and
+its table/verdict checks live in the registered harness case
+``experiments/e09_edge_tightness`` (:mod:`repro.bench.workloads.experiments`), so
+``python -m repro.bench run --suite experiments`` and this test time
+exactly the same thing.
 """
 
-from repro.experiments import ExperimentConfig, run_one
-
-CONFIG = ExperimentConfig(scale="quick")
+from repro.bench import run_in_pytest
 
 
 def test_bench_e09_edge_tightness(benchmark):
-    result = benchmark.pedantic(run_one, args=("E9", CONFIG),
-                                rounds=1, iterations=1)
-    assert result.rows, "experiment produced no table"
-    assert result.verdict != "inconsistent", result.to_text()
+    run_in_pytest(benchmark, "experiments/e09_edge_tightness")

@@ -1,15 +1,14 @@
 """Bench E12 — Section 5 sparse-network mobility speed-up.
 
-Regenerates the E12 table at quick scale and times the regeneration.
+Thin pytest wrapper: the workload, its quick-scale configuration, and
+its table/verdict checks live in the registered harness case
+``experiments/e12_speedup`` (:mod:`repro.bench.workloads.experiments`), so
+``python -m repro.bench run --suite experiments`` and this test time
+exactly the same thing.
 """
 
-from repro.experiments import ExperimentConfig, run_one
-
-CONFIG = ExperimentConfig(scale="quick")
+from repro.bench import run_in_pytest
 
 
 def test_bench_e12_speedup(benchmark):
-    result = benchmark.pedantic(run_one, args=("E12", CONFIG),
-                                rounds=1, iterations=1)
-    assert result.rows, "experiment produced no table"
-    assert result.verdict != "inconsistent", result.to_text()
+    run_in_pytest(benchmark, "experiments/e12_speedup")

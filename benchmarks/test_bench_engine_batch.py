@@ -1,96 +1,38 @@
 """Engine throughput: serial vs batched (replay/native) vs parallel.
 
-The headline acceptance benchmark of the engine subsystem: on a
-64-trial ``EdgeMEG`` ensemble at the paper's sparse density
-(``p_hat = 2 log n / n``, n = 512) the native batched kernel must
-deliver at least a 5x trial-throughput improvement over the serial
-reference path.  The comparison test prints a full table; the
-``benchmark``-fixture cases track each backend's latency over time at
-a smaller size.
+Thin pytest wrappers over the ``engine`` harness suite
+(:mod:`repro.bench.workloads.engine`): the acceptance comparison
+measures the n=512, 64-trial EdgeMEG ensemble on every backend and
+asserts the registered floor — the native batched kernel must deliver
+at least 5x trial throughput over the serial reference — while the
+small tracking cases ride the ``benchmark`` fixture.
 """
 
 from __future__ import annotations
 
-import math
-import time
-
-from repro.analysis.tables import render_table
-from repro.core.flooding import flooding_trials
-from repro.edgemeg.meg import EdgeMEG
-
-#: Acceptance threshold: native batched throughput over serial.
-MIN_NATIVE_SPEEDUP = 5.0
-
-TRIALS = 64
-N = 512
-SEED = 20090525
-
-
-def make_meg(n: int) -> EdgeMEG:
-    p_hat = 2.0 * math.log(n) / n
-    q = 0.2
-    return EdgeMEG(n, p_hat * q / (1.0 - p_hat), q)
-
-
-def _best_of(repeats: int, fn):
-    best = math.inf
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+from repro.bench import run_in_pytest, run_showdown
 
 
 def test_engine_native_speedup_over_serial():
     """The ISSUE acceptance criterion: >= 5x on a 64-trial ensemble."""
-    meg = make_meg(N)
-    backends = {
-        "serial": dict(),
-        "batched-replay": dict(backend="batched"),
-        "batched-native": dict(backend="batched", rng_mode="native"),
-        "parallel-native": dict(backend="parallel", rng_mode="native", jobs=2),
-    }
-    rows = []
-    elapsed = {}
-    for label, kwargs in backends.items():
-        repeats = 1 if label in ("serial", "batched-replay") else 3
-        seconds, results = _best_of(
-            repeats, lambda kw=kwargs: flooding_trials(
-                meg, trials=TRIALS, seed=SEED, **kw))
-        assert len(results) == TRIALS
-        assert all(r.completed for r in results)
-        elapsed[label] = seconds
-        rows.append({
-            "backend": label,
-            "trials_per_s": round(TRIALS / seconds, 1),
-            "ms_total": round(seconds * 1e3, 1),
-            "speedup": round(elapsed["serial"] / seconds, 2),
-        })
-    print(f"\nEdgeMEG n={N}, p_hat=2 log n/n, {TRIALS} trials:")
-    print(render_table(rows))
-    native_speedup = elapsed["serial"] / elapsed["batched-native"]
-    assert native_speedup >= MIN_NATIVE_SPEEDUP, (
-        f"native batched kernel reached only {native_speedup:.2f}x over "
-        f"serial (need >= {MIN_NATIVE_SPEEDUP}x)")
+    showdown = run_showdown([
+        "engine/edge_ensemble_serial",
+        "engine/edge_ensemble_replay",
+        "engine/edge_ensemble_native",
+        "engine/edge_ensemble_parallel",
+    ])
+    print("\nEdgeMEG n=512, p_hat=2 log n/n, 64 trials:")
+    print(showdown.table)
+    assert not showdown.failures, "\n".join(showdown.failures)
 
 
 def test_bench_flooding_trials_serial(benchmark):
-    meg = make_meg(256)
-    results = benchmark(lambda: flooding_trials(meg, trials=16, seed=SEED))
-    assert all(r.completed for r in results)
+    run_in_pytest(benchmark, "engine/trials_serial")
 
 
 def test_bench_flooding_trials_batched_replay(benchmark):
-    meg = make_meg(256)
-    results = benchmark(lambda: flooding_trials(meg, trials=16, seed=SEED,
-                                                backend="batched"))
-    assert all(r.completed for r in results)
+    run_in_pytest(benchmark, "engine/trials_batched_replay")
 
 
 def test_bench_flooding_trials_batched_native(benchmark):
-    meg = make_meg(256)
-    results = benchmark(lambda: flooding_trials(meg, trials=16, seed=SEED,
-                                                backend="batched",
-                                                rng_mode="native"))
-    assert all(r.completed for r in results)
+    run_in_pytest(benchmark, "engine/trials_batched_native")

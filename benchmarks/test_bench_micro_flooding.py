@@ -1,42 +1,24 @@
 """Micro-benchmarks of complete flooding runs on both models.
 
-End-to-end latency of one stationary flooding run at representative
-sizes; the headline throughput numbers for the simulator.
+Thin pytest wrappers over the ``micro`` harness suite
+(:mod:`repro.bench.workloads.micro`): end-to-end latency of one
+stationary flooding run at representative sizes — the headline
+throughput numbers for the simulator.
 """
 
 from __future__ import annotations
 
-from repro.core.flooding import flood
-from repro.edgemeg.independent import flood_time_independent
-from repro.edgemeg.meg import EdgeMEG
-from repro.geometric.meg import GeometricMEG
+from repro.bench import run_in_pytest
 
 
 def test_bench_flood_edge_meg(benchmark):
-    meg = EdgeMEG(1024, 0.02, 0.3)
-
-    def run():
-        return flood(meg, 0, seed=0)
-
-    result = benchmark(run)
-    assert result.completed
+    run_in_pytest(benchmark, "micro/flood_edge_meg")
 
 
 def test_bench_flood_geometric_meg(benchmark):
-    meg = GeometricMEG(4096, move_radius=1.0, radius=8.0)
-
-    def run():
-        return flood(meg, 0, seed=0)
-
-    result = benchmark(run)
-    assert result.completed
+    run_in_pytest(benchmark, "micro/flood_geometric_meg")
 
 
 def test_bench_flood_independent_fast_path(benchmark):
     """The O(n)-per-run informed-count shortcut at n = 10^6."""
-
-    def run():
-        return flood_time_independent(1_000_000, 2e-5, seed=0)
-
-    t, _ = benchmark(run)
-    assert t > 0
+    run_in_pytest(benchmark, "micro/flood_independent_fast_path")

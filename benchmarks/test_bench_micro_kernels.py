@@ -1,6 +1,8 @@
 """Micro-benchmarks of the simulators' hot kernels.
 
-These are the inner loops every experiment spends its time in:
+Thin pytest wrappers over the ``micro`` harness suite
+(:mod:`repro.bench.workloads.micro`).  These are the inner loops every
+experiment spends its time in:
 
 * one edge-MEG step (``n(n-1)/2`` two-state chains, vectorised),
 * one geometric-MEG step (bulk rejection sampling over the move disc),
@@ -11,53 +13,32 @@ These are the inner loops every experiment spends its time in:
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.dynamics.snapshots import AdjacencySnapshot
-from repro.edgemeg.er import erdos_renyi_adjacency
-from repro.edgemeg.meg import EdgeMEG
-from repro.geometric.meg import GeometricMEG, GeometricSnapshot
+from repro.bench import run_in_pytest
 
 
 def test_bench_edge_meg_step(benchmark):
-    meg = EdgeMEG(1024, 0.05, 0.1)  # ~524k edge chains per step
-    meg.reset(seed=0)
-    benchmark(meg.step)
+    run_in_pytest(benchmark, "micro/edge_meg_step")
 
 
 def test_bench_edge_meg_stationary_reset(benchmark):
-    meg = EdgeMEG(1024, 0.05, 0.1)
-    benchmark(meg.reset, 0)
+    run_in_pytest(benchmark, "micro/edge_meg_stationary_reset")
 
 
 def test_bench_edge_meg_snapshot(benchmark):
-    meg = EdgeMEG(1024, 0.05, 0.1)
-    meg.reset(seed=0)
-    benchmark(meg.snapshot)
+    run_in_pytest(benchmark, "micro/edge_meg_snapshot")
 
 
 def test_bench_geometric_step(benchmark):
-    meg = GeometricMEG(16384, move_radius=2.0, radius=16.0)
-    meg.reset(seed=0)
-    benchmark(meg.step)
+    run_in_pytest(benchmark, "micro/geometric_step")
 
 
 def test_bench_geometric_stationary_reset(benchmark):
-    meg = GeometricMEG(16384, move_radius=2.0, radius=16.0)
-    benchmark(meg.reset, 0)
+    run_in_pytest(benchmark, "micro/geometric_stationary_reset")
 
 
 def test_bench_radius_query(benchmark):
-    rng = np.random.default_rng(0)
-    positions = rng.uniform(0, 128, size=(16384, 2))
-    snap = GeometricSnapshot(positions, 8.0)
-    members = rng.random(16384) < 0.1
-    benchmark(snap.neighborhood_mask, members)
+    run_in_pytest(benchmark, "micro/radius_query")
 
 
 def test_bench_dense_adjacency_query(benchmark):
-    adj = erdos_renyi_adjacency(2048, 0.01, seed=0)
-    snap = AdjacencySnapshot(adj, validate=False)
-    rng = np.random.default_rng(1)
-    members = rng.random(2048) < 0.1
-    benchmark(snap.neighborhood_mask, members)
+    run_in_pytest(benchmark, "micro/dense_adjacency_query")

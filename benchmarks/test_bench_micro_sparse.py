@@ -1,46 +1,28 @@
 """Micro-benchmarks of the sparse edge-MEG engine at large n.
 
-Demonstrates the point of the O(m) representation: a 20 000-node
-edge-MEG at the paper's sparse density steps in milliseconds where the
-dense engine would touch 2*10^8 pairs.
+Thin pytest wrappers over the ``micro`` harness suite
+(:mod:`repro.bench.workloads.micro`).  Demonstrates the point of the
+O(m) representation: a 20 000-node edge-MEG at the paper's sparse
+density steps in milliseconds where the dense engine would touch
+2*10^8 pairs.
 """
 
 from __future__ import annotations
 
-import math
-
-from repro.core.flooding import flood
-from repro.edgemeg.sparse import SparseEdgeMEG
-
-
-def _sparse(n: int) -> SparseEdgeMEG:
-    p_hat = 3 * math.log(n) / n
-    q = 0.5
-    return SparseEdgeMEG(n, p_hat * q / (1 - p_hat), q)
+from repro.bench import run_in_pytest
 
 
 def test_bench_sparse_step(benchmark):
-    meg = _sparse(20_000)
-    meg.reset(seed=0)
-    benchmark(meg.step)
+    run_in_pytest(benchmark, "micro/sparse_step")
 
 
 def test_bench_sparse_stationary_reset(benchmark):
-    meg = _sparse(20_000)
-    benchmark(meg.reset, 0)
+    run_in_pytest(benchmark, "micro/sparse_stationary_reset")
 
 
 def test_bench_sparse_snapshot(benchmark):
-    meg = _sparse(20_000)
-    meg.reset(seed=0)
-    benchmark(meg.snapshot)
+    run_in_pytest(benchmark, "micro/sparse_snapshot")
 
 
 def test_bench_sparse_flood(benchmark):
-    meg = _sparse(8_000)
-
-    def run():
-        return flood(meg, 0, seed=0)
-
-    result = benchmark(run)
-    assert result.completed
+    run_in_pytest(benchmark, "micro/sparse_flood")

@@ -1,96 +1,36 @@
 """Mobility-kernel throughput: serial vs the batched native kernels.
 
-The acceptance benchmark of the mobility kernel family introduced with
-the ``BatchedDynamics`` protocol: on a waypoint-model ensemble at E11
-quick scale (``n = 256``, unit speed, ``R = 3 sqrt(log n)`` — the
-dense-connectivity mobility regime the batched cell-grid query targets)
-the native batched kernel — stacked ``(B, n, 2)`` kinematics plus the
-shared multi-trial radius query — must deliver at least a 3x
-trial-throughput improvement over the serial reference path, which pays
-a snapshot object, a fresh k-d tree, and per-model kinematics for every
-trial at every step.  (At sparser radii the k-d tree's pruned
-nearest-neighbor search is genuinely strong and the native margin
-narrows — see the DESIGN.md kernel table for the cost model.)
+Thin pytest wrappers over the mobility half of the ``engine`` harness
+suite (:mod:`repro.bench.workloads.engine`): the acceptance comparison
+measures the E11 waypoint ensemble (n=256, unit speed,
+``R = 3 sqrt(log n)`` — the dense-connectivity regime the batched
+cell-grid query targets) on every backend and asserts the registered
+3x floor for the native kernel; at sparser radii the k-d tree's pruned
+search is genuinely strong and the margin narrows (see the DESIGN.md
+kernel table for the cost model).
 """
 
 from __future__ import annotations
 
-import math
-import time
-
-from repro.analysis.tables import render_table
-from repro.core.flooding import flooding_trials
-from repro.mobility import MobilityMEG, RandomWaypointTorus
-
-#: Acceptance threshold: native batched throughput over serial.
-MIN_NATIVE_SPEEDUP = 3.0
-
-TRIALS = 64
-N = 256
-SEED = 20090525
-
-
-def make_meg(n: int) -> MobilityMEG:
-    side = math.sqrt(n)
-    radius = 3.0 * math.sqrt(math.log(n))
-    # The torus waypoint is the E11 variant with an exact stationary
-    # start (no warm-up), so the benchmark times flooding alone.
-    return MobilityMEG(RandomWaypointTorus(n, side, speed=1.0), radius,
-                       torus=True)
-
-
-def _best_of(repeats: int, fn):
-    best = math.inf
-    result = None
-    for _ in range(repeats):
-        start = time.perf_counter()
-        result = fn()
-        best = min(best, time.perf_counter() - start)
-    return best, result
+from repro.bench import run_in_pytest, run_showdown
 
 
 def test_mobility_native_speedup_over_serial():
     """The ISSUE acceptance criterion: >= 3x on a waypoint ensemble."""
-    meg = make_meg(N)
-    backends = {
-        "serial": dict(),
-        "batched-replay": dict(backend="batched"),
-        "batched-native": dict(backend="batched", rng_mode="native"),
-        "parallel-native": dict(backend="parallel", rng_mode="native", jobs=2),
-    }
-    rows = []
-    elapsed = {}
-    for label, kwargs in backends.items():
-        repeats = 2 if label in ("serial", "batched-replay") else 5
-        seconds, results = _best_of(
-            repeats, lambda kw=kwargs: flooding_trials(
-                meg, trials=TRIALS, seed=SEED, **kw))
-        assert len(results) == TRIALS
-        assert all(r.completed for r in results)
-        elapsed[label] = seconds
-        rows.append({
-            "backend": label,
-            "trials_per_s": round(TRIALS / seconds, 1),
-            "ms_total": round(seconds * 1e3, 1),
-            "speedup": round(elapsed["serial"] / seconds, 2),
-        })
-    print(f"\nRandomWaypointTorus n={N}, R=3 sqrt(log n), {TRIALS} trials:")
-    print(render_table(rows))
-    native_speedup = elapsed["serial"] / elapsed["batched-native"]
-    assert native_speedup >= MIN_NATIVE_SPEEDUP, (
-        f"native mobility kernel reached only {native_speedup:.2f}x over "
-        f"serial (need >= {MIN_NATIVE_SPEEDUP}x)")
+    showdown = run_showdown([
+        "engine/mobility_ensemble_serial",
+        "engine/mobility_ensemble_replay",
+        "engine/mobility_ensemble_native",
+        "engine/mobility_ensemble_parallel",
+    ])
+    print("\nRandomWaypointTorus n=256, R=3 sqrt(log n), 64 trials:")
+    print(showdown.table)
+    assert not showdown.failures, "\n".join(showdown.failures)
 
 
 def test_bench_mobility_serial(benchmark):
-    meg = make_meg(256)
-    results = benchmark(lambda: flooding_trials(meg, trials=8, seed=SEED))
-    assert all(r.completed for r in results)
+    run_in_pytest(benchmark, "engine/mobility_serial")
 
 
 def test_bench_mobility_batched_native(benchmark):
-    meg = make_meg(256)
-    results = benchmark(lambda: flooding_trials(meg, trials=8, seed=SEED,
-                                                backend="batched",
-                                                rng_mode="native"))
-    assert all(r.completed for r in results)
+    run_in_pytest(benchmark, "engine/mobility_batched_native")

@@ -1,0 +1,190 @@
+"""``python -m repro.bench`` — run, gate, and render benchmarks.
+
+Usage::
+
+    python -m repro.bench list
+    python -m repro.bench run --suite micro
+    python -m repro.bench run --suite engine --out artifacts/BENCH_engine.json
+    python -m repro.bench compare BENCH_micro.json
+    python -m repro.bench compare BENCH_engine.json --baseline other.json
+    python -m repro.bench report BENCH_micro.json old/BENCH_micro.json
+
+``run`` measures a suite and writes its schema-versioned
+``BENCH_<suite>.json`` artifact (nonzero exit when an asserted speedup
+floor is violated); ``compare`` gates an artifact against the stored
+baseline under ``benchmarks/baselines/`` and exits nonzero on any
+regression or missing case; ``report`` renders artifacts as an ASCII
+table plus, given several runs, a per-case trend canvas.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.tables import render_table
+from repro.bench.case import iter_cases, suite_names
+from repro.bench.compare import compare_results
+from repro.bench.report import render_report
+from repro.bench.results import load_result, result_filename
+from repro.bench.runner import floor_failures, run_suite
+from repro.bench.timer import MeasureConfig
+from repro.util.timing import format_seconds
+
+__all__ = ["main", "build_parser", "DEFAULT_BASELINE_DIR"]
+
+#: Where ``compare`` looks for a suite's baseline unless told otherwise
+#: (relative to the working directory — CI runs at the repo root).
+DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=("Machine-readable benchmark harness: calibrated "
+                     "suite runs, schema-versioned BENCH_<suite>.json "
+                     "artifacts, and baseline regression gates."),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="measure a suite, write its artifact")
+    run.add_argument("--suite", required=True,
+                     help="suite to run (see 'list')")
+    run.add_argument("--out", type=Path, default=None,
+                     help="artifact path (default: BENCH_<suite>.json)")
+    run.add_argument("--case", default=None, metavar="GLOB",
+                     help="only cases matching this fnmatch pattern")
+    run.add_argument("--target-seconds", type=float, default=0.4,
+                     help="per-case calibration budget (default 0.4)")
+    run.add_argument("--min-rounds", type=int, default=3,
+                     help="minimum calibrated rounds (default 3)")
+    run.add_argument("--max-rounds", type=int, default=25,
+                     help="maximum calibrated rounds (default 25)")
+    run.add_argument("--no-floors", action="store_true",
+                     help="report speedup-floor violations without "
+                          "failing (baseline bootstrap on slow hosts)")
+    run.add_argument("--quiet", action="store_true",
+                     help="suppress per-case progress lines")
+
+    compare = sub.add_parser(
+        "compare", help="gate an artifact against its stored baseline")
+    compare.add_argument("result", type=Path,
+                         help="a BENCH_<suite>.json artifact")
+    compare.add_argument("--baseline", type=Path, default=None,
+                         help=f"baseline file (default: "
+                              f"{DEFAULT_BASELINE_DIR}/BENCH_<suite>.json)")
+    compare.add_argument("--max-ratio", type=float, default=None,
+                         help="override every case's absolute-time "
+                              "tolerance multiplier")
+    compare.add_argument("--quiet", action="store_true",
+                         help="only print failures")
+
+    report = sub.add_parser("report", help="render artifacts for humans")
+    report.add_argument("results", type=Path, nargs="+",
+                        help="one or more BENCH_<suite>.json files "
+                             "(same suite; several files -> trend)")
+    report.add_argument("--case", default=None, metavar="GLOB",
+                        help="restrict the trend canvas to matching cases")
+
+    list_parser = sub.add_parser("list",
+                                 help="list suites and registered cases")
+    list_parser.add_argument("--suites", action="store_true",
+                             help="print just the suite names, one per "
+                                  "line (what CI iterates over, so a "
+                                  "new suite is gated automatically)")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = MeasureConfig(target_seconds=args.target_seconds,
+                           min_rounds=args.min_rounds,
+                           max_rounds=args.max_rounds)
+
+    def progress(case, measurement) -> None:
+        if not args.quiet:
+            print(f"  {case.name}: median "
+                  f"{format_seconds(measurement.median)} over "
+                  f"{measurement.rounds} round(s)", file=sys.stderr)
+
+    result = run_suite(args.suite, config=config, pattern=args.case,
+                       progress=progress)
+    out = args.out or Path(result_filename(args.suite))
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(result.to_json())
+
+    from repro.bench.report import suite_table
+    print(suite_table(result))
+    print(f"wrote {out} ({len(result.cases)} cases, "
+          f"git {(result.git_sha or 'unknown')[:12]})")
+
+    failures = floor_failures(result)
+    for failure in failures:
+        print(f"FLOOR: {failure}", file=sys.stderr)
+    if failures and not args.no_floors:
+        return 1
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    current = load_result(args.result)
+    baseline_path = args.baseline or \
+        DEFAULT_BASELINE_DIR / result_filename(current.suite)
+    if not Path(baseline_path).exists():
+        print(f"no baseline at {baseline_path} — nothing to gate "
+              f"(store one to enable the regression gate)",
+              file=sys.stderr)
+        return 2
+    baseline = load_result(baseline_path)
+    report = compare_results(current, baseline, max_ratio=args.max_ratio)
+
+    if not args.quiet:
+        print(f"suite {report.suite}: current "
+              f"{(current.git_sha or 'unknown')[:12]} vs baseline "
+              f"{(baseline.git_sha or 'unknown')[:12]}")
+        print(render_table(report.rows()))
+    for failure in report.failures:
+        print(f"REGRESSION: {failure.name}: {failure.note}",
+              file=sys.stderr)
+    if report.ok:
+        print(f"{len(report.comparisons)} cases within tolerance")
+    return 0 if report.ok else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    results = [load_result(path) for path in args.results]
+    print(render_report(results, pattern=args.case))
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    if args.suites:
+        for suite in suite_names():
+            print(suite)
+        return 0
+    rows = []
+    for suite in suite_names():
+        for case in iter_cases(suite):
+            rows.append({
+                "case": case.name,
+                "scale": case.scale,
+                "ref": case.ref or "",
+                "floor": case.floor if case.floor is not None else "",
+                "rounds": case.rounds if case.rounds is not None
+                else "auto",
+            })
+    print(render_table(rows))
+    print(f"{len(rows)} cases in {len(suite_names())} suites")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    command = {"run": _cmd_run, "compare": _cmd_compare,
+               "report": _cmd_report, "list": _cmd_list}
+    return command[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

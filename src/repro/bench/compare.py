@@ -1,0 +1,158 @@
+"""Baseline comparison — the regression gate behind ``repro.bench compare``.
+
+Tolerance discipline (documented in DESIGN.md):
+
+* **Absolute medians** are machine-dependent, so they gate loosely: a
+  case regresses when ``current_median > baseline_median * tolerance``
+  (per-case, default 4x).  This catches the real failure mode — a
+  vectorised kernel silently degrading to a per-trial path is an
+  order-of-magnitude event — while shrugging off host differences.
+* **Speedup ratios** are dimensionless (both sides measured on the same
+  host in the same run), so they gate tightly: a case with an asserted
+  ``floor`` regresses when it drops below it — the floor *is* the
+  calibrated criterion, chosen with margin for host variance; a
+  floor-less ratio case regresses when it retains less than
+  :data:`SPEEDUP_RETENTION` of its baseline speedup (the silent-erosion
+  guard — never stacked on top of a floor, because high-variance ratios
+  like a warm-cache fetch would turn 40 % of a lucky baseline into a
+  gate far stricter than the deliberate one).
+* **Coverage** gates exactly: a baseline case missing from the current
+  run fails (a deleted benchmark must be a deliberate baseline edit);
+  new cases pass with a note (they enter the gate once baselined).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.bench.results import SuiteResult
+from repro.util.validation import require
+
+__all__ = ["SPEEDUP_RETENTION", "CaseComparison", "ComparisonReport",
+           "compare_results"]
+
+#: Minimum fraction of the baseline speedup a floor-less case must
+#: retain (cases with a floor gate on the floor alone).
+SPEEDUP_RETENTION = 0.4
+
+
+@dataclass(frozen=True)
+class CaseComparison:
+    """One case's verdict against the baseline."""
+
+    name: str
+    status: str  # "ok" | "improved" | "regressed" | "missing" | "new"
+    note: str = ""
+    time_ratio: float | None = None  # current_median / baseline_median
+    baseline_median_s: float | None = None
+    current_median_s: float | None = None
+    baseline_speedup: float | None = None
+    current_speedup: float | None = None
+
+    @property
+    def failed(self) -> bool:
+        return self.status in ("regressed", "missing")
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """All case verdicts plus the aggregate gate decision."""
+
+    suite: str
+    comparisons: tuple[CaseComparison, ...]
+
+    @property
+    def failures(self) -> tuple[CaseComparison, ...]:
+        return tuple(c for c in self.comparisons if c.failed)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Table rows for :func:`repro.analysis.tables.render_table`."""
+        rows = []
+        for c in self.comparisons:
+            rows.append({
+                "case": c.name,
+                "base_ms": round(c.baseline_median_s * 1e3, 3)
+                if c.baseline_median_s is not None else "",
+                "cur_ms": round(c.current_median_s * 1e3, 3)
+                if c.current_median_s is not None else "",
+                "ratio": round(c.time_ratio, 2)
+                if c.time_ratio is not None else "",
+                "base_x": round(c.baseline_speedup, 2)
+                if c.baseline_speedup is not None else "",
+                "cur_x": round(c.current_speedup, 2)
+                if c.current_speedup is not None else "",
+                "status": c.status + (f"  ({c.note})" if c.note else ""),
+            })
+        return rows
+
+
+def _compare_case(base, cur, max_ratio: float | None) -> CaseComparison:
+    tolerance = max_ratio if max_ratio is not None else \
+        (cur.tolerance or base.tolerance)
+    ratio = cur.median_s / base.median_s if base.median_s > 0 else None
+    common = dict(name=cur.name, time_ratio=ratio,
+                  baseline_median_s=base.median_s,
+                  current_median_s=cur.median_s,
+                  baseline_speedup=base.speedup,
+                  current_speedup=cur.speedup)
+
+    floor = cur.floor if cur.floor is not None else base.floor
+    if cur.speedup is not None and floor is not None:
+        if cur.speedup < floor:
+            return CaseComparison(
+                status="regressed",
+                note=f"speedup {cur.speedup:.2f}x below floor "
+                     f"{floor:.2f}x", **common)
+    elif cur.speedup is not None and base.speedup is not None \
+            and cur.speedup < base.speedup * SPEEDUP_RETENTION:
+        return CaseComparison(
+            status="regressed",
+            note=(f"speedup {cur.speedup:.2f}x retains < "
+                  f"{SPEEDUP_RETENTION:.0%} of baseline "
+                  f"{base.speedup:.2f}x"), **common)
+    if ratio is not None and ratio > tolerance:
+        return CaseComparison(
+            status="regressed",
+            note=f"median {ratio:.2f}x baseline exceeds "
+                 f"tolerance {tolerance:.2f}x", **common)
+    if ratio is not None and ratio < 0.8:
+        return CaseComparison(status="improved", **common)
+    return CaseComparison(status="ok", **common)
+
+
+def compare_results(current: SuiteResult, baseline: SuiteResult, *,
+                    max_ratio: float | None = None) -> ComparisonReport:
+    """Gate *current* against *baseline* (same suite required).
+
+    ``max_ratio`` overrides every case's own absolute-time tolerance —
+    useful for hosts known to be uniformly slower than the baseline's.
+    """
+    require(current.suite == baseline.suite,
+            f"suite mismatch: current {current.suite!r} vs "
+            f"baseline {baseline.suite!r}")
+    comparisons: list[CaseComparison] = []
+    for base in baseline.cases:
+        cur = current.case(base.name)
+        if cur is None:
+            comparisons.append(CaseComparison(
+                name=base.name, status="missing",
+                note="in baseline but not in this run",
+                baseline_median_s=base.median_s,
+                baseline_speedup=base.speedup))
+            continue
+        comparisons.append(_compare_case(base, cur, max_ratio))
+    baseline_names = {case.name for case in baseline.cases}
+    for cur in current.cases:
+        if cur.name not in baseline_names:
+            comparisons.append(CaseComparison(
+                name=cur.name, status="new",
+                note="not in baseline yet",
+                current_median_s=cur.median_s,
+                current_speedup=cur.speedup))
+    return ComparisonReport(suite=current.suite,
+                            comparisons=tuple(comparisons))

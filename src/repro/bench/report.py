@@ -1,0 +1,81 @@
+"""Human-readable rendering of benchmark artifacts.
+
+``repro.bench report`` turns one or more ``BENCH_<suite>.json`` files
+into the repo's usual offline media: an aligned ASCII table for the
+latest run (:func:`repro.analysis.tables.render_table`) and, when given
+a history of artifacts, an ASCII trend canvas per case
+(:func:`repro.analysis.asciiplot.ascii_plot`) of median latency across
+runs — the perf trajectory, eyeball-readable.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.asciiplot import ascii_plot
+from repro.analysis.tables import render_table
+from repro.bench.results import SuiteResult
+from repro.util.validation import require
+
+__all__ = ["suite_table", "trend_plot", "render_report"]
+
+
+def suite_table(result: SuiteResult) -> str:
+    """One row per case: rounds, best/median/IQR, speedup and floor."""
+    rows = []
+    for case in result.cases:
+        rows.append({
+            "case": case.name,
+            "scale": case.scale,
+            "rounds": case.rounds,
+            "best_ms": round(case.best_s * 1e3, 3),
+            "median_ms": round(case.median_s * 1e3, 3),
+            "iqr_ms": round(case.iqr_s * 1e3, 3),
+            "speedup": round(case.speedup, 2)
+            if case.speedup is not None else "",
+            "floor": case.floor if case.floor is not None else "",
+        })
+    return render_table(rows)
+
+
+def _sorted_history(results: Sequence[SuiteResult]) -> list[SuiteResult]:
+    require(len(results) > 0, "need at least one result file")
+    suites = {r.suite for r in results}
+    require(len(suites) == 1,
+            f"trend needs one suite, got {sorted(suites)}")
+    return sorted(results, key=lambda r: r.created_at)
+
+
+def trend_plot(results: Sequence[SuiteResult], *,
+               pattern: str | None = None) -> str:
+    """Median latency (ms) per case across runs, oldest to newest."""
+    from fnmatch import fnmatch
+    history = _sorted_history(results)
+    series: dict[str, tuple[list[float], list[float]]] = {}
+    for index, result in enumerate(history):
+        for case in result.cases:
+            if pattern is not None and not fnmatch(case.name, pattern):
+                continue
+            xs, ys = series.setdefault(case.name, ([], []))
+            xs.append(float(index))
+            ys.append(case.median_s * 1e3)
+    require(len(series) > 0, "no cases to plot (pattern too narrow?)")
+    title = (f"{history[0].suite}: median ms across {len(history)} runs "
+             f"({history[0].created_at} .. {history[-1].created_at})")
+    return ascii_plot(series, title=title, height=14)
+
+
+def render_report(results: Sequence[SuiteResult], *,
+                  pattern: str | None = None) -> str:
+    """The full ``report`` output: latest table, then the trend canvas
+    whenever more than one artifact was given."""
+    history = _sorted_history(results)
+    latest = history[-1]
+    header = (f"suite {latest.suite} @ "
+              f"{(latest.git_sha or 'unknown')[:12]} "
+              f"({latest.created_at})")
+    parts = [header, suite_table(latest)]
+    if len(history) > 1:
+        parts.append("")
+        parts.append(trend_plot(history, pattern=pattern))
+    return "\n".join(parts)

@@ -1,0 +1,76 @@
+"""Suite execution: measure every registered case, assert floors.
+
+The runner is deliberately dumb: measure cases in registration order,
+attach speedups against each case's declared serial reference, and hand
+back a :class:`~repro.bench.results.SuiteResult`.  Floor violations are
+reported as strings (not exceptions) so the CLI can still write the
+artifact — a failing perf gate with no evidence attached would be the
+worst of both worlds.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.case import BenchCase, iter_cases, suite_names
+from repro.bench.results import CaseResult, SuiteResult
+from repro.bench.timer import Measurement, MeasureConfig, measure_case
+from repro.util.validation import require
+
+__all__ = ["run_suite", "floor_failures"]
+
+Progress = Callable[[BenchCase, Measurement], None]
+
+
+def run_suite(suite: str, *,
+              config: MeasureConfig | None = None,
+              pattern: str | None = None,
+              progress: Progress | None = None) -> SuiteResult:
+    """Measure every case of *suite* (optionally fnmatch-filtered).
+
+    Speedups are computed from best-of-round times against each case's
+    ``ref``; a reference excluded by *pattern* yields ``speedup=None``
+    rather than an error, so partial runs stay useful.
+    """
+    config = config or MeasureConfig()
+    cases = list(iter_cases(suite, pattern))
+    require(suite in suite_names(), f"unknown suite {suite!r} "
+            f"(known: {', '.join(suite_names())})")
+    require(len(cases) > 0, f"no cases match {pattern!r} in suite {suite!r}")
+
+    measured: dict[str, Measurement] = {}
+    for case in cases:
+        measurement, _ = measure_case(case, config)
+        measured[case.name] = measurement
+        if progress is not None:
+            progress(case, measurement)
+
+    results = []
+    for case in cases:
+        m = measured[case.name]
+        ref = measured.get(case.ref) if case.ref else None
+        results.append(CaseResult(
+            name=case.name, scale=case.scale, rounds=m.rounds,
+            best_s=m.best, median_s=m.median, iqr_s=m.iqr,
+            ref=case.ref,
+            speedup=(ref.best / m.best) if ref is not None else None,
+            floor=case.floor, tolerance=case.tolerance))
+    return SuiteResult.build(
+        suite, tuple(results),
+        config={"target_seconds": config.target_seconds,
+                "min_rounds": config.min_rounds,
+                "max_rounds": config.max_rounds,
+                "pattern": pattern})
+
+
+def floor_failures(result: SuiteResult) -> list[str]:
+    """Human-readable violations of the suite's asserted speedup floors."""
+    failures = []
+    for case in result.cases:
+        if case.floor is None or case.speedup is None:
+            continue
+        if case.speedup < case.floor:
+            failures.append(
+                f"{case.name}: speedup {case.speedup:.2f}x vs {case.ref} "
+                f"is below the asserted floor {case.floor:.2f}x")
+    return failures

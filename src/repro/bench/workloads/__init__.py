@@ -1,0 +1,30 @@
+"""Built-in benchmark workloads, one module per suite.
+
+Each module registers its :class:`~repro.bench.case.BenchCase`\\ s at
+import time; :func:`load_all` imports the lot, which is what the CLI
+and the registry's lazy loader call.  The pytest files under
+``benchmarks/`` import individual case names from here, so both entry
+points time exactly the same workload objects.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+__all__ = ["SUITE_MODULES", "load_all"]
+
+#: suite name -> module (import order defines suite order).
+SUITE_MODULES: dict[str, str] = {
+    "micro": "repro.bench.workloads.micro",
+    "engine": "repro.bench.workloads.engine",
+    "protocols": "repro.bench.workloads.protocols",
+    "campaign": "repro.bench.workloads.campaign",
+    "experiments": "repro.bench.workloads.experiments",
+}
+
+
+def load_all() -> None:
+    """Import every suite module (registration is idempotent per
+    process because modules import once)."""
+    for module in SUITE_MODULES.values():
+        importlib.import_module(module)

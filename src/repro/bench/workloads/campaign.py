@@ -1,0 +1,80 @@
+"""``campaign`` suite — cold campaign vs warm store fetches.
+
+Port of the timing half of ``benchmarks/test_bench_campaign.py``: a
+quick-scale three-experiment campaign run cold into a fresh store
+(``fresh_state`` — a second cold round against the same store would be
+a warm run), and the same campaign re-run warm, where every unit is a
+store fetch and the asserted floor is the campaign subsystem's
+headline 10x.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro.bench.case import BenchCase, register
+from repro.util.validation import require
+
+SUITE = "campaign"
+
+#: Campaign acceptance floor: warm re-run over the cold run.
+WARM_FLOOR = 10.0
+
+#: Enough compute that the cold run is meaningfully slower than fetches.
+IDS = ["E2", "E7", "E13"]
+
+
+def _plan():
+    from repro.campaign.plan import plan_experiments
+    from repro.experiments.common import ExperimentConfig
+    return plan_experiments(IDS, ExperimentConfig(scale="quick"))
+
+
+def _fresh_store():
+    from repro.campaign.store import ResultStore
+    # Held by the workload closure; the TemporaryDirectory finalizer
+    # reclaims the tree once the measurement drops it.
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-campaign-")
+    return ResultStore(tmp.name), tmp
+
+
+def _cold_setup():
+    from repro.campaign.scheduler import run_campaign
+    plan = _plan()
+    store, tmp = _fresh_store()
+
+    def run(_keepalive=tmp):
+        return run_campaign(plan, store, jobs=1)
+    return run
+
+
+def _warm_setup():
+    from repro.campaign.scheduler import run_campaign
+    plan = _plan()
+    store, tmp = _fresh_store()
+    run_campaign(plan, store, jobs=1)  # populate: warm rounds only fetch
+
+    def run(_keepalive=tmp):
+        return run_campaign(plan, store, jobs=1)
+    return run
+
+
+def _check_cold(report) -> None:
+    require(len(report.computed) == len(IDS) and not report.fetched,
+            "cold campaign must compute every unit")
+
+
+def _check_warm(report) -> None:
+    require(len(report.fetched) == len(IDS) and not report.computed,
+            "warm campaign must fetch every unit")
+
+
+register(BenchCase(
+    name="campaign/cold", suite=SUITE,
+    scale=f"{'+'.join(IDS)} quick, fresh store",
+    setup=_cold_setup, rounds=1, fresh_state=True, check=_check_cold))
+register(BenchCase(
+    name="campaign/warm", suite=SUITE,
+    scale=f"{'+'.join(IDS)} quick, fully cached",
+    setup=_warm_setup, ref="campaign/cold", floor=WARM_FLOOR,
+    check=_check_warm))

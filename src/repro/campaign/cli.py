@@ -72,6 +72,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="show which units of a campaign are cached")
     add_run_arguments(status)
     status.add_argument("--results-dir", type=Path, required=True)
+    status.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable summary (unit/cached counts "
+                             "derived from the plan — what CI scripts "
+                             "should consume instead of grepping logs)")
 
     show = sub.add_parser("show", help="print a stored experiment table")
     add_run_arguments(show)
@@ -117,8 +121,14 @@ def _cmd_status(args: argparse.Namespace) -> int:
     store = ResultStore(args.results_dir)
     store.reconcile()
     rows = campaign_status(store, plan)
-    print(render_table(rows))
     cached = sum(bool(row["cached"]) for row in rows)
+    if args.as_json:
+        import json
+        print(json.dumps({"units": len(rows), "cached": cached,
+                          "missing": len(rows) - cached,
+                          "rows": rows}, sort_keys=True))
+        return 0
+    print(render_table(rows))
     print(f"{cached}/{len(rows)} units cached")
     return 0
 

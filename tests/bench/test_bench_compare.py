@@ -1,0 +1,134 @@
+"""Baseline comparison: the regression gate's verdicts and exit codes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.compare import SPEEDUP_RETENTION, compare_results
+from repro.bench.results import CaseResult, SuiteResult
+
+
+def make_suite(cases) -> SuiteResult:
+    return SuiteResult.build("demo", tuple(cases))
+
+
+def case(name="demo/a", median=0.1, *, best=None, speedup=None,
+         ref=None, floor=None, tolerance=4.0) -> CaseResult:
+    return CaseResult(name=name, scale="", rounds=3,
+                      best_s=best if best is not None else median * 0.9,
+                      median_s=median, iqr_s=0.0, ref=ref,
+                      speedup=speedup, floor=floor, tolerance=tolerance)
+
+
+def one_status(report, name):
+    match = [c for c in report.comparisons if c.name == name]
+    assert len(match) == 1
+    return match[0]
+
+
+def test_identical_runs_pass():
+    baseline = make_suite([case("demo/a"), case("demo/b", 0.2)])
+    report = compare_results(baseline, baseline)
+    assert report.ok
+    assert [c.status for c in report.comparisons] == ["ok", "ok"]
+
+
+def test_injected_regression_fails():
+    baseline = make_suite([case(median=0.1, tolerance=4.0)])
+    slowed = make_suite([case(median=0.9, tolerance=4.0)])
+    report = compare_results(slowed, baseline)
+    assert not report.ok
+    verdict = one_status(report, "demo/a")
+    assert verdict.status == "regressed"
+    assert "tolerance" in verdict.note
+    assert verdict.time_ratio == pytest.approx(9.0)
+
+
+def test_slowdown_within_tolerance_is_ok():
+    baseline = make_suite([case(median=0.1, tolerance=4.0)])
+    slower = make_suite([case(median=0.3, tolerance=4.0)])
+    assert compare_results(slower, baseline).ok
+
+
+def test_injected_improvement_passes_and_is_reported():
+    baseline = make_suite([case(median=0.5)])
+    faster = make_suite([case(median=0.05)])
+    report = compare_results(faster, baseline)
+    assert report.ok
+    assert one_status(report, "demo/a").status == "improved"
+
+
+def test_missing_case_fails():
+    baseline = make_suite([case("demo/a"), case("demo/b", 0.2)])
+    partial = make_suite([case("demo/a")])
+    report = compare_results(partial, baseline)
+    assert not report.ok
+    assert one_status(report, "demo/b").status == "missing"
+
+
+def test_new_case_passes_with_note():
+    baseline = make_suite([case("demo/a")])
+    extended = make_suite([case("demo/a"), case("demo/new", 0.3)])
+    report = compare_results(extended, baseline)
+    assert report.ok
+    assert one_status(report, "demo/new").status == "new"
+
+
+def test_speedup_retention_gate():
+    baseline = make_suite([
+        case("demo/serial", 1.0),
+        case("demo/fast", 0.1, speedup=10.0, ref="demo/serial"),
+    ])
+    # Same wall-clock, but the recorded speedup collapsed below the
+    # retention fraction of the baseline's 10x.
+    eroded = make_suite([
+        case("demo/serial", 1.0),
+        case("demo/fast", 0.1,
+             speedup=10.0 * SPEEDUP_RETENTION * 0.9, ref="demo/serial"),
+    ])
+    report = compare_results(eroded, baseline)
+    assert not report.ok
+    assert "retains" in one_status(report, "demo/fast").note
+
+
+def test_floor_gate_beats_retention():
+    baseline = make_suite([
+        case("demo/fast", 0.1, speedup=6.0, floor=5.0)])
+    below_floor = make_suite([
+        case("demo/fast", 0.1, speedup=4.0, floor=5.0)])
+    report = compare_results(below_floor, baseline)
+    assert not report.ok
+    assert "floor" in one_status(report, "demo/fast").note
+
+
+def test_floored_case_is_exempt_from_retention():
+    """The floor is the calibrated criterion: a high-variance ratio
+    (e.g. a warm-cache fetch measured 150x on a lucky baseline) must
+    not regress just for landing at 15x when its floor is 10x."""
+    baseline = make_suite([
+        case("demo/warm", 0.01, speedup=150.0, floor=10.0)])
+    modest = make_suite([
+        case("demo/warm", 0.01, speedup=15.0, floor=10.0)])
+    assert compare_results(modest, baseline).ok
+
+
+def test_max_ratio_overrides_case_tolerance():
+    baseline = make_suite([case(median=0.1, tolerance=4.0)])
+    slower = make_suite([case(median=0.3, tolerance=4.0)])
+    assert not compare_results(slower, baseline, max_ratio=2.0).ok
+    assert compare_results(slower, baseline, max_ratio=10.0).ok
+
+
+def test_suite_mismatch_is_an_error():
+    a = make_suite([case()])
+    b = SuiteResult.build("other", (case("other/a"),))
+    with pytest.raises(ValueError, match="suite mismatch"):
+        compare_results(a, b)
+
+
+def test_rows_render():
+    from repro.analysis.tables import render_table
+    baseline = make_suite([case("demo/a"), case("demo/b", 0.2)])
+    report = compare_results(baseline, baseline)
+    text = render_table(report.rows())
+    assert "demo/a" in text and "status" in text

@@ -1,0 +1,84 @@
+"""Case registry: determinism, naming discipline, reference integrity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.case import BenchCase, get_case, iter_cases, suite_names
+
+EXPECTED_SUITES = ["micro", "engine", "protocols", "campaign",
+                   "experiments"]
+
+
+def test_all_builtin_suites_register():
+    # Sorted: first-seen suite order depends on which pytest wrapper
+    # imported its workload module first, and that's fine.
+    assert sorted(suite_names()) == sorted(EXPECTED_SUITES)
+    for suite in EXPECTED_SUITES:
+        assert len(list(iter_cases(suite))) > 0
+
+
+def test_registry_is_deterministic():
+    """Two walks see identical names in identical order — the registry
+    is a pure function of the code, not of import accidents."""
+    first = [case.name for case in iter_cases()]
+    second = [case.name for case in iter_cases()]
+    assert first == second
+    assert len(first) == len(set(first))
+
+
+def test_every_ref_resolves_within_its_suite():
+    for case in iter_cases():
+        if case.ref is None:
+            continue
+        ref = get_case(case.ref)
+        assert ref.suite == case.suite, \
+            f"{case.name} references {case.ref} in another suite"
+        assert ref.ref is None, \
+            f"{case.name} -> {case.ref}: references must not chain"
+
+
+def test_every_floor_sits_on_a_ref():
+    floored = [case for case in iter_cases() if case.floor is not None]
+    assert floored, "the acceptance floors must be registered"
+    for case in floored:
+        assert case.ref is not None
+
+
+def test_experiment_suite_covers_the_registry():
+    from repro.experiments.registry import EXPERIMENTS
+    cases = list(iter_cases("experiments"))
+    assert len(cases) == len(EXPERIMENTS)
+
+
+def test_benchmark_files_wrap_only_registered_cases():
+    """Every case name mentioned by a pytest wrapper under benchmarks/
+    must resolve — a renamed case cannot silently orphan its wrapper."""
+    import re
+    from pathlib import Path
+    bench_dir = Path(__file__).resolve().parents[2] / "benchmarks"
+    pattern = re.compile(
+        r'"((?:micro|engine|protocols|campaign|experiments)/[\w-]+)"')
+    wrapped = set()
+    for path in bench_dir.glob("test_bench_*.py"):
+        wrapped.update(pattern.findall(path.read_text()))
+    assert wrapped, "wrappers should reference registered case names"
+    for name in sorted(wrapped):
+        get_case(name)  # raises on an unknown name
+
+
+def test_unknown_case_is_a_clear_error():
+    with pytest.raises(ValueError, match="unknown benchmark case"):
+        get_case("micro/no_such_case")
+
+
+def test_case_naming_is_validated():
+    with pytest.raises(ValueError, match="must be '<suite>/<case>'"):
+        BenchCase(name="bad name", suite="micro", scale="",
+                  setup=lambda: (lambda: None))
+    with pytest.raises(ValueError, match="floor requires a ref"):
+        BenchCase(name="micro/x", suite="micro", scale="",
+                  setup=lambda: (lambda: None), floor=2.0)
+    with pytest.raises(ValueError, match="tolerance"):
+        BenchCase(name="micro/x", suite="micro", scale="",
+                  setup=lambda: (lambda: None), tolerance=0.5)

@@ -1,0 +1,102 @@
+"""Result-artifact schema: round-trip, validation, and the frozen hash."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.results import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    CaseResult,
+    SuiteResult,
+    load_result,
+    machine_fingerprint,
+    result_filename,
+    schema_fingerprint,
+)
+
+#: The pinned layout hash of schema v1.  If this test fails you have
+#: changed the shape of BENCH_<suite>.json: bump SCHEMA_VERSION, update
+#: the hash, and regenerate the baselines — historical artifacts must
+#: stay parseable on their recorded version.
+FROZEN_SCHEMA_V1 = \
+    "f8e87246c5dff15970b476cfa3cf7f44866dd8677baef99e2a7bc5d4f2624ccb"
+
+
+def sample_suite() -> SuiteResult:
+    cases = (
+        CaseResult(name="demo/serial", scale="n=8", rounds=3,
+                   best_s=0.2, median_s=0.25, iqr_s=0.01),
+        CaseResult(name="demo/native", scale="n=8", rounds=5,
+                   best_s=0.02, median_s=0.026, iqr_s=0.002,
+                   ref="demo/serial", speedup=10.0, floor=5.0,
+                   tolerance=3.0),
+    )
+    return SuiteResult.build("demo", cases, config={"target_seconds": 0.1})
+
+
+def test_schema_fingerprint_is_frozen():
+    assert SCHEMA_VERSION == 1
+    assert schema_fingerprint() == FROZEN_SCHEMA_V1
+
+
+def test_round_trip_is_lossless():
+    suite = sample_suite()
+    assert SuiteResult.from_json(suite.to_json()) == suite
+
+
+def test_json_encoding_is_plain_and_sorted():
+    payload = json.loads(sample_suite().to_json())
+    assert payload["schema"] == SCHEMA_NAME
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert [c["name"] for c in payload["cases"]] == \
+        ["demo/serial", "demo/native"]
+    # sort_keys=True: deterministic artifacts diff cleanly in git.
+    assert list(payload) == sorted(payload)
+
+
+def test_load_result_reads_what_run_writes(tmp_path):
+    suite = sample_suite()
+    path = tmp_path / result_filename("demo")
+    assert path.name == "BENCH_demo.json"
+    path.write_text(suite.to_json())
+    assert load_result(path) == suite
+
+
+def test_unknown_schema_version_is_rejected():
+    payload = json.loads(sample_suite().to_json())
+    payload["schema_version"] = 99
+    with pytest.raises(ValueError, match="unsupported schema version"):
+        SuiteResult.from_json(json.dumps(payload))
+
+
+def test_wrong_schema_name_is_rejected():
+    payload = json.loads(sample_suite().to_json())
+    payload["schema"] = "something/else"
+    with pytest.raises(ValueError, match="not a bench result"):
+        SuiteResult.from_json(json.dumps(payload))
+
+
+def test_duplicate_case_names_are_rejected():
+    case = CaseResult(name="demo/serial", scale="", rounds=1,
+                      best_s=0.1, median_s=0.1, iqr_s=0.0)
+    with pytest.raises(ValueError, match="duplicate case names"):
+        SuiteResult.build("demo", (case, case))
+
+
+def test_unknown_fields_are_ignored_on_read():
+    """Forward compatibility within a version: extra keys never crash."""
+    payload = json.loads(sample_suite().to_json())
+    payload["future_top_level"] = {"x": 1}
+    payload["cases"][0]["future_case_field"] = 42
+    decoded = SuiteResult.from_json(json.dumps(payload))
+    assert decoded.case("demo/serial") is not None
+
+
+def test_machine_fingerprint_shape():
+    machine = machine_fingerprint()
+    assert sorted(machine) == ["cpu_count", "implementation", "numpy",
+                               "platform", "python"]
+    assert machine["cpu_count"] >= 1
