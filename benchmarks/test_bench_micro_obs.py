@@ -1,0 +1,20 @@
+"""Micro-benchmarks of the telemetry hot path.
+
+Thin pytest wrappers over the ``micro`` harness suite
+(:mod:`repro.bench.workloads.micro`): the cost of 1000 span
+enter/exits with the default no-op sink (what every instrumented run
+pays when tracing is off) and with a live in-memory sink (what
+``--trace`` / ``--metrics`` runs pay per span).
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_in_pytest
+
+
+def test_bench_obs_span_disabled(benchmark):
+    run_in_pytest(benchmark, "micro/obs_span_disabled")
+
+
+def test_bench_obs_span_emit(benchmark):
+    run_in_pytest(benchmark, "micro/obs_span_emit")

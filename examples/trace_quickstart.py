@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Observability quickstart: trace a run, then read the trace.
+
+Three stops:
+
+1. run an E1 campaign with a JSONL trace sink attached and render the
+   resulting per-phase breakdown (what ``--trace`` + ``python -m
+   repro.obs report`` do),
+2. re-run it warm to watch the cache-hit counters flip,
+3. instrument a scrap of your own code with ``obs.span`` / metrics and
+   summarize it straight from an in-memory sink — no file needed.
+
+Run:  python examples/trace_quickstart.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import obs
+from repro.campaign import ResultStore, plan_experiments, run_campaign
+from repro.experiments.common import ExperimentConfig
+from repro.obs.sinks import JsonlSink, MemorySink
+
+SEED = 20090525
+
+
+def traced_campaign(results_dir: Path) -> None:
+    store = ResultStore(results_dir)
+    plan = plan_experiments(["E1"], ExperimentConfig(scale="quick",
+                                                     seed=SEED))
+    trace = results_dir / "trace.jsonl"
+
+    # Cold run, traced: spans for the campaign, the dispatch fan-out,
+    # the unit itself, and the store write all land in one JSONL file.
+    sink = JsonlSink(trace, argv=["trace_quickstart", "cold"])
+    previous = obs.configure(sink)
+    try:
+        run_campaign(plan, store)
+    finally:
+        obs.configure(previous if previous.live else None)
+        sink.close()
+
+    manifest, events = obs.read_trace(trace)
+    print(f"== cold trace: {len(events)} events at {trace.name} ==")
+    print(obs.render_summary(manifest, obs.summarize(events)))
+    print()
+
+    # Warm run into a fresh in-memory sink: same instrumentation, but
+    # now every unit is a cache hit.
+    memory = MemorySink()
+    previous = obs.configure(memory)
+    try:
+        run_campaign(plan, store)
+    finally:
+        obs.configure(previous if previous.live else None)
+    summary = obs.summarize(memory.events)
+    cache = summary["cache"]
+    print(f"== warm run: cache {cache['hits']} hit / "
+          f"{cache['misses']} miss ({cache['rate']:.0%}) ==")
+    print()
+
+
+def instrument_your_own_code() -> None:
+    memory = MemorySink()
+    previous = obs.configure(memory)
+    try:
+        with obs.span("quickstart.outer", items=3):
+            for i in range(3):
+                with obs.span("quickstart.item", index=i) as sp:
+                    obs.counter("quickstart.processed")
+                    sp.set(squared=i * i)
+    finally:
+        obs.configure(previous if previous.live else None)
+    print("== your own spans, summarized from memory ==")
+    print(obs.render_summary(None, obs.summarize(memory.events)))
+
+
+if __name__ == "__main__":
+    with tempfile.TemporaryDirectory() as tmp:
+        # Use a real directory like results/ to keep trace + cache
+        # between runs; the CLI spelling of stop 1 is
+        #   python -m repro.campaign run E1 --results-dir r \
+        #       --trace r/trace.jsonl
+        #   python -m repro.obs report r/trace.jsonl
+        traced_campaign(Path(tmp) / "campaign")
+    instrument_your_own_code()

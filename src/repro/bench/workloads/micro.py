@@ -128,6 +128,34 @@ def _sparse_flood():
     return lambda: flood(meg, 0, seed=0)
 
 
+def _obs_span_disabled():
+    from repro.obs import trace
+    trace.configure(None)  # force the no-op fast path
+
+    def run():
+        for _ in range(1000):
+            with trace.span("bench.probe", i=1):
+                pass
+    return run
+
+
+def _obs_span_emit():
+    from repro.obs import trace
+    from repro.obs.sinks import MemorySink
+    sink = MemorySink()
+
+    def run():
+        previous = trace.configure(sink)
+        try:
+            for _ in range(1000):
+                with trace.span("bench.probe", i=1):
+                    pass
+        finally:
+            trace.configure(previous if previous.live else None)
+            sink.clear()
+    return run
+
+
 register(BenchCase(
     name="micro/flood_edge_meg", suite=SUITE, scale="n=1024",
     setup=_flood_edge_meg, check=_completed))
@@ -171,3 +199,12 @@ register(BenchCase(
 register(BenchCase(
     name="micro/sparse_flood", suite=SUITE, scale="n=8000",
     setup=_sparse_flood, check=_completed))
+# µs-scale span costs jitter hard across hosts: gate only on
+# order-of-magnitude blowups (an accidental allocation or sink dispatch
+# on the disabled path).
+register(BenchCase(
+    name="micro/obs_span_disabled", suite=SUITE, scale="1000 no-op spans",
+    setup=_obs_span_disabled, tolerance=8.0))
+register(BenchCase(
+    name="micro/obs_span_emit", suite=SUITE,
+    scale="1000 spans, memory sink", setup=_obs_span_emit, tolerance=8.0))

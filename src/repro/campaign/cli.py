@@ -22,6 +22,8 @@ from pathlib import Path
 
 from repro.analysis.tables import render_table
 from repro.campaign.plan import CampaignPlan, plan_experiments
+from repro.obs.bootstrap import add_obs_arguments, session_from_args
+from repro.obs.progress import CampaignProgress
 from repro.campaign.query import (
     campaign_status,
     fetch_result,
@@ -67,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also save per-experiment .txt/.csv/.json artifacts")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-unit progress lines")
+    add_obs_arguments(run)
 
     status = sub.add_parser("status",
                             help="show which units of a campaign are cached")
@@ -97,16 +100,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     plan = _build_plan(args)
     store = ResultStore(args.results_dir)
 
-    def progress(done: int, total: int, unit, cached: bool) -> None:
-        if not args.quiet:
-            source = "cached" if cached else "computed"
-            print(f"[{done}/{total}] {unit.label}: {source}", file=sys.stderr)
+    # Telemetry-backed default renderer: done/total, cache-hit %, and
+    # an ETA from a rolling per-unit rate.  --quiet drops it entirely.
+    progress = None if args.quiet else CampaignProgress()
 
     # With --backend parallel the parallelism lives *inside* each
     # experiment; run units one at a time to avoid nested process pools.
     jobs = 1 if args.backend == "parallel" else args.jobs
-    report = run_campaign(plan, store, jobs=jobs, force=args.force,
-                          progress=progress)
+    with session_from_args(args):
+        report = run_campaign(plan, store, jobs=jobs, force=args.force,
+                              progress=progress)
     inconsistent = print_experiment_report(report, plan,
                                            output_dir=args.output)
     print(f"campaign: {report.total} units, {len(report.fetched)} cached, "

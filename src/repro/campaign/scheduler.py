@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable
 
+from repro import obs
 from repro.analysis.records import rows_to_json
 from repro.analysis.sweep import SweepPoint
 from repro.campaign.plan import CampaignPlan, WorkUnit
@@ -37,9 +38,12 @@ from repro.campaign.store import ResultStore
 from repro.engine.executor import fan_out_chunks
 from repro.experiments.common import ExperimentConfig
 from repro.experiments.registry import load_experiment
+from repro.util.logging import get_logger
 from repro.util.validation import require
 
 __all__ = ["run_campaign", "execute_unit", "CampaignReport"]
+
+_log = get_logger("campaign.scheduler")
 
 #: progress callback signature: (done_so_far, total, unit, cached?)
 ProgressFn = Callable[[int, int, WorkUnit, bool], None]
@@ -85,21 +89,31 @@ def execute_unit(payload: dict[str, Any]) -> dict[str, Any]:
     the store or handed over freshly computed.
     """
     kind = payload["kind"]
+    # Telemetry identity travels outside the spec (it must never touch
+    # the content address); present only when the scheduler dispatched
+    # the unit, absent when execute_unit is called directly.
+    ident = payload.get("_obs") or {}
+    label = ident.get("label") or payload.get("experiment") \
+        or payload.get("sweep") or kind
     start = time.perf_counter()
-    if kind == "experiment":
-        config = ExperimentConfig(**payload["config"])
-        module = load_experiment(payload["experiment"])
-        result = module.run(config)
-        section = json.loads(result.to_json())
-    elif kind == "sweep-point":
-        point = SweepPoint(params=dict(payload["params"]),
-                           seed=payload["seed"], index=payload["index"])
-        outcome = payload["func"](point)
-        row = dict(payload["params"])
-        row.update(outcome)
-        section = {"row": json.loads(rows_to_json([row]))[0]}
-    else:
-        raise ValueError(f"unknown work-unit kind: {kind!r}")
+    with obs.span("campaign.unit.run", label=label, kind=kind,
+                  key=ident.get("key", "")[:12]):
+        obs.event("campaign.unit", status="running", label=label,
+                  key=ident.get("key"))
+        if kind == "experiment":
+            config = ExperimentConfig(**payload["config"])
+            module = load_experiment(payload["experiment"])
+            result = module.run(config)
+            section = json.loads(result.to_json())
+        elif kind == "sweep-point":
+            point = SweepPoint(params=dict(payload["params"]),
+                               seed=payload["seed"], index=payload["index"])
+            outcome = payload["func"](point)
+            row = dict(payload["params"])
+            row.update(outcome)
+            section = {"row": json.loads(rows_to_json([row]))[0]}
+        else:
+            raise ValueError(f"unknown work-unit kind: {kind!r}")
     return {"result": section, "elapsed": time.perf_counter() - start}
 
 
@@ -116,13 +130,24 @@ def _git_rev() -> str:
 
 
 def write_manifest(store: ResultStore, report: CampaignReport) -> Path:
-    """Record the provenance of the latest campaign run in the store."""
+    """Record the provenance of the latest campaign run in the store.
+
+    Besides the plan keys and git revision, the manifest records the
+    machine fingerprint and — when the run was traced — the path of
+    the telemetry trace, so a results directory carries everything
+    needed to interpret its own timings.
+    """
+    from repro.obs.events import machine_fingerprint
+
+    trace = obs.trace_path()
     manifest = {
         "written_at": time.time(),
         "git_rev": _git_rev(),
         "python": sys.version.split()[0],
         "argv": sys.argv,
         "elapsed": report.elapsed,
+        "machine": machine_fingerprint(),
+        "trace": None if trace is None else str(trace),
         "units": {
             "total": report.total,
             "fetched": len(report.fetched),
@@ -176,45 +201,70 @@ def run_campaign(
     require(jobs is None or int(jobs) >= 1, "jobs must be >= 1")
     start = time.perf_counter()
     report = CampaignReport(plan=plan)
-    if store is not None:
-        store.reconcile()
-    done = 0
-
-    pending = plan.pending(store, force=force)
-    pending_keys = {unit.key for unit in pending}
-    for unit in plan:
-        if unit.key in pending_keys:
-            continue
-        payload = store.get(unit.key)
-        require(payload is not None,
-                f"store lost {unit.label} ({unit.key[:12]}) mid-campaign")
-        report.results[unit.key] = payload["result"]
-        report.fetched.append(unit.key)
-        elapsed = payload.get("meta", {}).get("elapsed")
-        if elapsed is not None:
-            report.unit_elapsed[unit.key] = elapsed
-        done += 1
-        if progress is not None:
-            progress(done, len(plan), unit, True)
-
-    def checkpoint(index: int, outcome: dict[str, Any]) -> None:
-        nonlocal done
-        unit = pending[index]
+    with obs.span("campaign.run", units=len(plan), force=force,
+                  jobs=jobs or 0, persistent=store is not None) as sp:
         if store is not None:
-            store.put(unit.spec, outcome["result"], label=unit.label,
-                      elapsed=outcome["elapsed"])
-        report.results[unit.key] = outcome["result"]
-        report.computed.append(unit.key)
-        report.unit_elapsed[unit.key] = outcome["elapsed"]
-        done += 1
-        if progress is not None:
-            progress(done, len(plan), unit, False)
+            store.reconcile()
+        done = 0
 
-    if pending:
-        fan_out_chunks(execute_unit, [dict(unit.payload) for unit in pending],
-                       jobs, on_result=checkpoint)
+        pending = plan.pending(store, force=force)
+        pending_keys = {unit.key for unit in pending}
+        for unit in pending:
+            obs.event("campaign.unit", status="planned", label=unit.label,
+                      key=unit.key)
+        for unit in plan:
+            if unit.key in pending_keys:
+                continue
+            payload = store.get(unit.key)
+            require(payload is not None,
+                    f"store lost {unit.label} ({unit.key[:12]}) mid-campaign")
+            report.results[unit.key] = payload["result"]
+            report.fetched.append(unit.key)
+            obs.counter("campaign.cache.hit")
+            obs.event("campaign.unit", status="cached", label=unit.label,
+                      key=unit.key)
+            elapsed = payload.get("meta", {}).get("elapsed")
+            if elapsed is not None:
+                report.unit_elapsed[unit.key] = elapsed
+            done += 1
+            if progress is not None:
+                progress(done, len(plan), unit, True)
 
-    report.elapsed = time.perf_counter() - start
-    if store is not None:
-        write_manifest(store, report)
+        def checkpoint(index: int, outcome: dict[str, Any]) -> None:
+            nonlocal done
+            unit = pending[index]
+            if store is not None:
+                store.put(unit.spec, outcome["result"], label=unit.label,
+                          elapsed=outcome["elapsed"])
+            report.results[unit.key] = outcome["result"]
+            report.computed.append(unit.key)
+            report.unit_elapsed[unit.key] = outcome["elapsed"]
+            obs.counter("campaign.cache.miss")
+            obs.event("campaign.unit", status="checkpointed",
+                      label=unit.label, key=unit.key)
+            obs.histogram("campaign.unit_elapsed_s", outcome["elapsed"],
+                          label=unit.label)
+            _log.debug("checkpointed %s (%s) in %.3fs", unit.label,
+                       unit.key[:12], outcome["elapsed"])
+            done += 1
+            if progress is not None:
+                progress(done, len(plan), unit, False)
+
+        if pending:
+            _log.debug("campaign: %d/%d units pending", len(pending),
+                       len(plan))
+            payloads = []
+            for unit in pending:
+                payload = dict(unit.payload)
+                payload["_obs"] = {"label": unit.label, "key": unit.key}
+                payloads.append(payload)
+                obs.event("campaign.unit", status="leased", label=unit.label,
+                          key=unit.key)
+            fan_out_chunks(execute_unit, payloads, jobs,
+                           on_result=checkpoint)
+
+        report.elapsed = time.perf_counter() - start
+        sp.set(fetched=len(report.fetched), computed=len(report.computed))
+        if store is not None:
+            write_manifest(store, report)
     return report

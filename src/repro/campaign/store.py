@@ -33,10 +33,14 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Mapping
 
+from repro import obs
 from repro.analysis.records import _jsonable
+from repro.util.logging import get_logger
 from repro.util.validation import require
 
 __all__ = ["ResultStore", "canonical_json", "unit_key"]
+
+_log = get_logger("campaign.store")
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS units (
@@ -122,31 +126,33 @@ class ResultStore:
         stores of the same work are byte-comparable on ``spec``/``result``.
         """
         key = unit_key(spec)
-        payload = {
-            "key": key,
-            "spec": _canonical_value(spec),
-            "result": _canonical_value(result),
-            "meta": {"created_at": time.time(), "elapsed": elapsed},
-        }
-        path = self.object_path(key)
-        path.parent.mkdir(exist_ok=True)
-        # Atomic publish: a crash mid-write leaves no partial object.
-        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle, indent=1)
-            os.replace(tmp_name, path)
-        except BaseException:
-            if os.path.exists(tmp_name):
-                os.unlink(tmp_name)
-            raise
-        with self._db() as db:
-            db.execute(
-                "INSERT OR REPLACE INTO units VALUES (?, ?, ?, ?, ?)",
-                (key, str(payload["spec"].get("kind", "unknown")), label,
-                 payload["meta"]["created_at"], elapsed),
-            )
-        return key
+        with obs.span("store.put", key=key[:12], label=label):
+            payload = {
+                "key": key,
+                "spec": _canonical_value(spec),
+                "result": _canonical_value(result),
+                "meta": {"created_at": time.time(), "elapsed": elapsed},
+            }
+            path = self.object_path(key)
+            path.parent.mkdir(exist_ok=True)
+            # Atomic publish: a crash mid-write leaves no partial object.
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle, indent=1)
+                os.replace(tmp_name, path)
+            except BaseException:
+                if os.path.exists(tmp_name):
+                    os.unlink(tmp_name)
+                raise
+            with self._db() as db:
+                db.execute(
+                    "INSERT OR REPLACE INTO units VALUES (?, ?, ?, ?, ?)",
+                    (key, str(payload["spec"].get("kind", "unknown")), label,
+                     payload["meta"]["created_at"], elapsed),
+                )
+            _log.debug("store.put %s (%s)", key[:12], label or "unlabelled")
+            return key
 
     def delete(self, key: str) -> bool:
         """Remove a stored unit (used by ``--force`` and tests)."""
@@ -166,13 +172,16 @@ class ResultStore:
         Reads the object file (the source of truth); a dangling index row
         therefore never serves a phantom result.
         """
-        path = self.object_path(key)
-        if not path.exists():
-            return None
-        payload = json.loads(path.read_text())
-        require(payload.get("key") == key,
-                f"corrupt store object {path}: key mismatch")
-        return payload
+        with obs.span("store.get", key=key[:12]) as sp:
+            path = self.object_path(key)
+            if not path.exists():
+                sp.set(hit=False)
+                return None
+            payload = json.loads(path.read_text())
+            require(payload.get("key") == key,
+                    f"corrupt store object {path}: key mismatch")
+            sp.set(hit=True)
+            return payload
 
     def get_result(self, key: str) -> dict[str, Any] | None:
         """Just the deterministic ``result`` section for *key*."""
@@ -223,4 +232,14 @@ class ResultStore:
                 )
             for key in dropped:
                 db.execute("DELETE FROM units WHERE key = ?", (key,))
+        if recovered or dropped:
+            # A non-empty heal means the previous run died between an
+            # object publish and its index insert (or lost objects):
+            # the signal operators grep for after a crash-resume.
+            _log.warning(
+                "store %s healed after crash: %d object(s) re-registered, "
+                "%d dangling index row(s) dropped",
+                self.root, len(recovered), len(dropped))
+            obs.event("store.reconcile", status="healed",
+                      recovered=len(recovered), dropped=len(dropped))
         return len(recovered), len(dropped)

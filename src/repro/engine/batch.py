@@ -34,6 +34,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.flooding import _resolve_sources
 from repro.dynamics.base import EvolvingGraph
 from repro.dynamics.batched import BatchedDynamics, batched_dynamics_for
@@ -312,18 +313,37 @@ def run_chunk(payload: dict) -> TrialEnsemble:
     start, stop = payload["range"]
     count = stop - start
     budget = payload["budget"]
-    if plan.rng_mode == "replay":
-        if plan.is_flooding:
-            return _run_chunk_replay(plan, payload["streams"], count, budget)
-        return _run_chunk_replay_protocol(plan, payload["trial_streams"],
-                                          count, budget)
-    rng = np.random.default_rng(payload["chunk_seed"])
-    template = plan.make_model()
-    kernel = batched_dynamics_for(template)
-    pk = batched_protocol_for(plan.protocol, template.num_nodes)
-    if kernel.native_capable and pk.native_capable:
-        return _run_chunk_native(plan, kernel, pk, rng, count, budget)
-    return _run_chunk_native_generic(plan, rng, count, budget)
+    with obs.span("engine.chunk", start=start, stop=stop, trials=count,
+                  mode=plan.rng_mode, protocol=plan.protocol.name) as sp:
+        if plan.rng_mode == "replay":
+            if plan.is_flooding:
+                ensemble = _run_chunk_replay(plan, payload["streams"],
+                                             count, budget)
+            else:
+                ensemble = _run_chunk_replay_protocol(
+                    plan, payload["trial_streams"], count, budget)
+        else:
+            rng = np.random.default_rng(payload["chunk_seed"])
+            template = plan.make_model()
+            kernel = batched_dynamics_for(template)
+            pk = batched_protocol_for(plan.protocol, template.num_nodes)
+            sp.set(kernel=type(kernel).__name__,
+                   protocol_kernel=type(pk).__name__,
+                   native=kernel.native_capable and pk.native_capable)
+            if kernel.native_capable and pk.native_capable:
+                ensemble = _run_chunk_native(plan, kernel, pk, rng, count,
+                                             budget)
+            else:
+                ensemble = _run_chunk_native_generic(plan, rng, count, budget)
+        if obs.enabled():
+            times = np.asarray(ensemble.times)
+            obs.counter("engine.trials", count)
+            obs.counter("engine.rounds",
+                        int(times.max(initial=0)))
+            obs.gauge("engine.completed_fraction",
+                      float(np.asarray(ensemble.completed).mean()))
+            obs.histogram("engine.spreading_time", float(times.mean()))
+        return ensemble
 
 
 # ---------------------------------------------------------------------------

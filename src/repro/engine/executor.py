@@ -32,14 +32,18 @@ from typing import Callable, Sequence
 
 import multiprocessing
 
+from repro import obs
 from repro.core.flooding import _resolve_sources, flood, resolve_max_steps
 from repro.engine.batch import run_chunk
 from repro.engine.plan import SimulationPlan
 from repro.engine.results import TrialEnsemble
+from repro.util.logging import get_logger
 from repro.util.rng import as_seed_sequence
 from repro.util.validation import require
 
 __all__ = ["run_plan", "fan_out_chunks", "BACKENDS", "default_jobs"]
+
+_log = get_logger("engine.executor")
 
 #: Supported execution backends.
 BACKENDS = ("serial", "batched", "parallel")
@@ -74,25 +78,33 @@ def fan_out_chunks(worker, payloads: Sequence[dict],
     The returned list is always in payload order.
     """
     if len(payloads) <= 1 or (jobs is not None and jobs <= 1):
-        results = []
-        for index, payload in enumerate(payloads):
-            result = worker(payload)
-            if on_result is not None:
-                on_result(index, result)
-            results.append(result)
-        return results
+        with obs.span("engine.fan_out", payloads=len(payloads), jobs=1,
+                      pooled=False):
+            results = []
+            for index, payload in enumerate(payloads):
+                result = worker(payload)
+                if on_result is not None:
+                    on_result(index, result)
+                results.append(result)
+            return results
     workers = min(jobs or default_jobs(), len(payloads))
-    with ProcessPoolExecutor(max_workers=workers,
-                             mp_context=_pool_context()) as pool:
-        futures = {pool.submit(worker, payload): index
-                   for index, payload in enumerate(payloads)}
-        results: list = [None] * len(payloads)
-        for future in as_completed(futures):
-            index = futures[future]
-            results[index] = future.result()
-            if on_result is not None:
-                on_result(index, results[index])
-        return results
+    _log.debug("fan-out: %d payloads over %d worker processes",
+               len(payloads), workers)
+    # A span is open across the fork: worker processes inherit the
+    # tracing context, so their chunk spans parent to this one.
+    with obs.span("engine.fan_out", payloads=len(payloads), jobs=workers,
+                  pooled=True):
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=_pool_context()) as pool:
+            futures = {pool.submit(worker, payload): index
+                       for index, payload in enumerate(payloads)}
+            results: list = [None] * len(payloads)
+            for future in as_completed(futures):
+                index = futures[future]
+                results[index] = future.result()
+                if on_result is not None:
+                    on_result(index, results[index])
+            return results
 
 
 def _run_serial(plan: SimulationPlan, root, budget: int) -> TrialEnsemble:
@@ -175,11 +187,13 @@ def run_plan(plan: SimulationPlan, *, backend: str = "batched",
         _resolve_sources(plan.source, n)  # fail fast on bad plans
     root = as_seed_sequence(plan.seed)  # normalised exactly once
 
-    if backend == "serial":
-        return _run_serial(plan, root, budget)
-    payloads = _chunk_payloads(plan, root, budget)
-    if backend == "batched":
-        parts = [run_chunk(p) for p in payloads]
-    else:
-        parts = fan_out_chunks(run_chunk, payloads, jobs)
-    return TrialEnsemble.concatenate(parts)
+    with obs.span("engine.plan", backend=backend, trials=plan.trials, n=n,
+                  rng_mode=plan.rng_mode, protocol=plan.protocol.name):
+        if backend == "serial":
+            return _run_serial(plan, root, budget)
+        payloads = _chunk_payloads(plan, root, budget)
+        if backend == "batched":
+            parts = [run_chunk(p) for p in payloads]
+        else:
+            parts = fan_out_chunks(run_chunk, payloads, jobs)
+        return TrialEnsemble.concatenate(parts)

@@ -24,6 +24,7 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro import obs
 from repro.experiments.common import (
     ExperimentConfig,
     add_run_arguments,
@@ -39,7 +40,14 @@ __all__ = ["main", "run_one", "run_many"]
 def run_one(experiment_id: str, config: ExperimentConfig):
     """Load and run one experiment; returns its ExperimentResult."""
     module = load_experiment(experiment_id)
-    return module.run(config)
+    # The experiment-level span covers even experiments whose internals
+    # bypass the instrumented engine (deterministic ladders, legacy
+    # serial helpers), so --trace/--metrics always shows per-id timing.
+    with obs.span("experiment.run", experiment=experiment_id,
+                  scale=config.scale) as sp:
+        result = module.run(config)
+        sp.set(verdict=result.verdict)
+    return result
 
 
 def _run_many_campaign(ids: list[str], config: ExperimentConfig, *, stream,
@@ -121,6 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "cached results")
     parser.add_argument("--list", action="store_true", dest="list_experiments",
                         help="list experiments and exit")
+    from repro.obs.bootstrap import add_obs_arguments
+    add_obs_arguments(parser)
     return parser
 
 
@@ -144,8 +154,10 @@ def main(argv: list[str] | None = None) -> int:
                               output_dir=args.output, trials=args.trials,
                               backend=args.backend, jobs=args.jobs,
                               protocol=args.protocol)
-    inconsistent = run_many(ids, config, results_dir=args.results_dir,
-                            force=args.force)
+    from repro.obs.bootstrap import session_from_args
+    with session_from_args(args):
+        inconsistent = run_many(ids, config, results_dir=args.results_dir,
+                                force=args.force)
     return 1 if inconsistent else 0
 
 

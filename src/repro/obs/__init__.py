@@ -1,0 +1,58 @@
+"""Structured telemetry for the engine, campaign, and protocol stack.
+
+``repro.obs`` is the observability substrate: span-based tracing with
+process-safe ids (worker spans stitch into one trace across the
+engine's fork pool), counters/gauges/histograms, and pluggable sinks —
+a near-zero-cost no-op sink by default, a schema-versioned JSONL sink
+(``--trace``), and an in-memory sink for tests and ``--metrics``.
+
+Quick tour::
+
+    from repro import obs
+    from repro.obs.sinks import JsonlSink
+
+    obs.configure(JsonlSink("trace.jsonl"))
+    with obs.span("my.phase", n=1024):
+        obs.counter("my.items", 3)
+    obs.configure(None)  # back to the no-op sink
+
+    # later: python -m repro.obs report trace.jsonl
+
+Instrumented layers: the engine (plan / fan-out / per-chunk spans with
+backend and kernel attribution), the campaign scheduler and store
+(unit lifecycle events, cache-hit counters, store read/write spans),
+and the protocol runner (per-run transmit timing).  See the DESIGN.md
+observability section for the event schema and the overhead policy.
+"""
+
+from repro.obs.events import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    build_manifest,
+    read_trace,
+    schema_fingerprint,
+    validate_event,
+)
+from repro.obs.report import render_summary, summarize
+from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink, TeeSink
+from repro.obs.trace import (
+    configure,
+    counter,
+    current_sink,
+    current_span_id,
+    enabled,
+    event,
+    gauge,
+    histogram,
+    span,
+    trace_path,
+)
+
+__all__ = [
+    "SCHEMA_NAME", "SCHEMA_VERSION",
+    "span", "event", "counter", "gauge", "histogram",
+    "configure", "enabled", "current_sink", "current_span_id", "trace_path",
+    "Sink", "NullSink", "MemorySink", "JsonlSink", "TeeSink",
+    "build_manifest", "read_trace", "schema_fingerprint", "validate_event",
+    "summarize", "render_summary",
+]

@@ -1,0 +1,79 @@
+"""CLI plumbing for the telemetry layer.
+
+Both work-running CLIs (``python -m repro.experiments`` and
+``python -m repro.campaign run``) accept the same two observability
+flags; they are declared once here so the parsers cannot drift:
+
+``--trace PATH``
+    Write a schema-versioned JSONL trace (manifest first line) of the
+    whole run, including spans emitted from forked worker processes.
+``--metrics``
+    Collect events in memory and print the aggregated summary (phase
+    times, counters, cache stats) to stderr after the run.  With
+    worker processes the in-memory view only sees the parent's events;
+    use ``--trace`` for a cross-process record.
+
+:func:`obs_session` is the matching context manager: it installs the
+configured sink for the duration of the run, restores the previous
+sink afterwards, and prints the ``--metrics`` summary on the way out.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, TextIO
+
+from repro.obs.sinks import JsonlSink, MemorySink, Sink, TeeSink
+from repro.obs.trace import configure
+
+__all__ = ["add_obs_arguments", "obs_session", "session_from_args"]
+
+
+def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach ``--trace`` / ``--metrics`` to *parser*."""
+    parser.add_argument("--trace", type=Path, default=None, metavar="PATH",
+                        help="write a JSONL telemetry trace of the run "
+                             "(render it with 'python -m repro.obs report')")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print an aggregated telemetry summary "
+                             "(span times, counters, cache stats) to "
+                             "stderr after the run")
+
+
+@contextmanager
+def obs_session(*, trace: Path | None = None, metrics: bool = False,
+                argv: list[str] | None = None,
+                stream: TextIO | None = None) -> Iterator[Sink | None]:
+    """Install the sinks *trace*/*metrics* ask for, for one run."""
+    memory: MemorySink | None = None
+    sinks: list[Sink] = []
+    if trace is not None:
+        sinks.append(JsonlSink(trace, argv=argv))
+    if metrics:
+        memory = MemorySink()
+        sinks.append(memory)
+    if not sinks:
+        yield None
+        return
+    sink = sinks[0] if len(sinks) == 1 else TeeSink(*sinks)
+    previous = configure(sink)
+    try:
+        yield sink
+    finally:
+        configure(previous)
+        sink.close()
+        if memory is not None:
+            from repro.obs.report import render_summary, summarize
+            out = stream if stream is not None else sys.stderr
+            print(render_summary(None, summarize(memory.events)), file=out)
+
+
+def session_from_args(args: argparse.Namespace, *,
+                      stream: TextIO | None = None):
+    """The :func:`obs_session` an argparse namespace asks for."""
+    return obs_session(trace=getattr(args, "trace", None),
+                       metrics=bool(getattr(args, "metrics", False)),
+                       stream=stream)

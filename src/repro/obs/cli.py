@@ -1,0 +1,92 @@
+"""``python -m repro.obs`` — render and validate telemetry traces.
+
+Usage::
+
+    python -m repro.obs report trace.jsonl            # full breakdown
+    python -m repro.obs report trace.jsonl --top 20
+    python -m repro.obs summary trace.jsonl           # one-paragraph view
+    python -m repro.obs validate trace.jsonl          # schema gate (CI)
+
+``report`` renders the per-phase time breakdown, the top-k slowest
+spans, counters/histograms, and campaign cache-hit stats; ``summary``
+prints just the headline numbers; ``validate`` exits non-zero on the
+first schema violation (what the CI obs-smoke step gates on).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs.events import read_trace
+from repro.obs.report import format_manifest, render_summary, summarize
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs",
+        description="Render and validate repro.obs JSONL telemetry traces.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report",
+                            help="per-phase breakdown + slowest spans")
+    report.add_argument("trace", type=Path, help="JSONL trace file")
+    report.add_argument("--top", type=int, default=10,
+                        help="how many slowest spans to list")
+
+    summary = sub.add_parser("summary", help="headline numbers only")
+    summary.add_argument("trace", type=Path)
+
+    validate = sub.add_parser("validate",
+                              help="schema-check a trace (exit 1 on the "
+                                   "first malformed event)")
+    validate.add_argument("trace", type=Path)
+    return parser
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    manifest, events = read_trace(args.trace)
+    print(render_summary(manifest, summarize(events, top=args.top)))
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    manifest, events = read_trace(args.trace)
+    s = summarize(events)
+    print(format_manifest(manifest))
+    cache = s["cache"]
+    line = (f"{s['spans']} spans, {len(s['pids'])} process(es), "
+            f"{s['wall_s']:.3f}s wall")
+    if cache["rate"] is not None:
+        line += f", cache hit rate {cache['rate']:.0%}"
+    print(line)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    try:
+        manifest, events = read_trace(args.trace)
+    except (ValueError, OSError) as exc:
+        print(f"INVALID: {exc}", file=sys.stderr)
+        return 1
+    if manifest is None:
+        print(f"INVALID: {args.trace}: no manifest line", file=sys.stderr)
+        return 1
+    print(f"ok: {args.trace} is a valid {manifest['schema']} "
+          f"v{manifest['schema_version']} trace ({len(events)} events)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    command = {"report": _cmd_report, "summary": _cmd_summary,
+               "validate": _cmd_validate}
+    return command[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,211 @@
+"""The trace event schema (``repro.obs/trace``).
+
+A trace is a JSONL file: one event object per line.  The first line is
+normally a ``manifest`` event carrying the run's provenance (git SHA,
+machine fingerprint, argv); every further line is a ``span`` (a timed
+region with a process-safe id and a parent link), a ``metric``
+(counter / gauge / histogram observation), or a point ``event`` (a
+state transition such as a campaign unit moving from ``planned`` to
+``checkpointed``).
+
+The layout follows the ``repro.bench`` artifact discipline: it is
+frozen by :func:`schema_fingerprint` (pinned in ``tests/obs``), so
+adding, renaming, or dropping a field must bump :data:`SCHEMA_VERSION`
+and historical traces stay parseable on their recorded version.
+Unknown *extra* fields are tolerated on read (forward compatibility
+within a version); missing *required* fields are not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Iterable, Mapping
+
+from repro.util.validation import require
+
+__all__ = [
+    "SCHEMA_NAME", "SCHEMA_VERSION", "EVENT_KINDS", "METRIC_TYPES",
+    "SPAN_STATUSES", "build_manifest", "machine_fingerprint", "git_sha",
+    "schema_fingerprint", "validate_event", "read_trace",
+]
+
+SCHEMA_NAME = "repro.obs/trace"
+SCHEMA_VERSION = 1
+
+#: Required fields per event kind.  ``attrs`` is a free-form mapping on
+#: every kind — workload-specific labels live there, never as new top
+#: level fields (which would change the fingerprint).
+EVENT_KINDS: dict[str, tuple[str, ...]] = {
+    "manifest": ("kind", "schema", "schema_version", "created_at",
+                 "git_sha", "machine", "argv", "pid"),
+    "span": ("kind", "name", "span_id", "parent_id", "pid", "ts",
+             "dur_s", "status", "attrs"),
+    "metric": ("kind", "name", "metric", "value", "pid", "ts", "attrs"),
+    "event": ("kind", "name", "status", "pid", "ts", "attrs"),
+}
+
+METRIC_TYPES = ("counter", "gauge", "histogram")
+SPAN_STATUSES = ("ok", "error")
+
+
+def machine_fingerprint() -> dict[str, Any]:
+    """Where a trace was recorded — enough to judge comparability.
+
+    Deliberately the same shape as the ``repro.bench`` fingerprint, but
+    defined locally: :mod:`repro.obs` sits below the engine's hot paths
+    and must not drag the benchmark harness into their import graph.
+    """
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = None
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+    }
+
+
+def git_sha() -> str | None:
+    """The current checkout's commit SHA, or ``None`` outside a repo."""
+    try:
+        proc = subprocess.run(["git", "rev-parse", "HEAD"],
+                              capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    sha = proc.stdout.strip()
+    return sha if len(sha) == 40 else None
+
+
+def build_manifest(argv: list[str] | None = None) -> dict[str, Any]:
+    """Assemble the provenance event that opens a trace."""
+    import sys
+    return {
+        "kind": "manifest",
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "created_at": time.time(),
+        "git_sha": git_sha(),
+        "machine": machine_fingerprint(),
+        "argv": list(sys.argv if argv is None else argv),
+        "pid": os.getpid(),
+    }
+
+
+def schema_fingerprint() -> str:
+    """SHA-256 over the schema's field layout (names, not values).
+
+    Pinned by a test: any change to the trace shape fails loudly and
+    forces a deliberate :data:`SCHEMA_VERSION` bump.
+    """
+    layout = {
+        "schema": SCHEMA_NAME,
+        "schema_version": SCHEMA_VERSION,
+        "kinds": {kind: sorted(fields)
+                  for kind, fields in EVENT_KINDS.items()},
+        "metric_types": sorted(METRIC_TYPES),
+        "span_statuses": sorted(SPAN_STATUSES),
+        "machine_fields": sorted(machine_fingerprint()),
+    }
+    canonical = json.dumps(layout, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _require_number(event: Mapping[str, Any], field: str) -> None:
+    require(isinstance(event.get(field), (int, float))
+            and not isinstance(event.get(field), bool),
+            f"trace event field {field!r} must be a number: {event!r}")
+
+
+def validate_event(event: Any) -> None:
+    """Raise ``ValueError`` unless *event* is a schema-valid trace event."""
+    require(isinstance(event, Mapping), f"trace event must be an object, "
+            f"got {type(event).__name__}")
+    kind = event.get("kind")
+    require(kind in EVENT_KINDS,
+            f"unknown trace event kind {kind!r} "
+            f"(known: {', '.join(EVENT_KINDS)})")
+    missing = [f for f in EVENT_KINDS[kind] if f not in event]
+    require(not missing,
+            f"{kind} event is missing required fields {missing}: {event!r}")
+    if kind == "manifest":
+        require(event["schema"] == SCHEMA_NAME,
+                f"not a trace manifest (schema {event['schema']!r})")
+        require(event["schema_version"] == SCHEMA_VERSION,
+                f"unsupported trace schema version "
+                f"{event['schema_version']} (this build reads "
+                f"v{SCHEMA_VERSION})")
+        require(isinstance(event["machine"], Mapping),
+                "manifest machine fingerprint must be an object")
+        return
+    require(isinstance(event["name"], str) and event["name"],
+            f"trace event name must be a non-empty string: {event!r}")
+    require(isinstance(event["attrs"], Mapping),
+            f"trace event attrs must be an object: {event!r}")
+    _require_number(event, "ts")
+    if kind == "span":
+        _require_number(event, "dur_s")
+        require(event["dur_s"] >= 0, "span duration must be >= 0")
+        require(event["status"] in SPAN_STATUSES,
+                f"span status must be one of {SPAN_STATUSES}")
+        require(isinstance(event["span_id"], str) and event["span_id"],
+                "span_id must be a non-empty string")
+        require(event["parent_id"] is None
+                or isinstance(event["parent_id"], str),
+                "parent_id must be null or a string")
+    elif kind == "metric":
+        require(event["metric"] in METRIC_TYPES,
+                f"metric type must be one of {METRIC_TYPES}")
+        _require_number(event, "value")
+
+
+def validate_events(events: Iterable[Mapping[str, Any]]) -> None:
+    """Validate a whole event stream (the in-memory sink's contents)."""
+    for event in events:
+        validate_event(event)
+
+
+def read_trace(path: str | Path) -> tuple[dict[str, Any] | None,
+                                          list[dict[str, Any]]]:
+    """Read and validate a JSONL trace.
+
+    Returns ``(manifest, events)`` where *manifest* is the leading
+    manifest event (or ``None`` for header-less traces, e.g. a raw
+    memory-sink dump) and *events* are the remaining span / metric /
+    point events in file order.  Raises ``ValueError`` on the first
+    malformed line.
+    """
+    manifest: dict[str, Any] | None = None
+    events: list[dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON ({exc})") from exc
+            try:
+                validate_event(event)
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: {exc}") from exc
+            if event["kind"] == "manifest":
+                require(manifest is None,
+                        f"{path}:{lineno}: duplicate trace manifest")
+                manifest = event
+            else:
+                events.append(event)
+    return manifest, events

@@ -1,0 +1,78 @@
+"""Default campaign progress renderer.
+
+:class:`CampaignProgress` implements the scheduler's ``ProgressFn``
+signature (``progress(done, total, unit, cached)``) so
+``repro.campaign run`` shows useful live telemetry — done/total,
+cache-hit percentage, and an ETA from a rolling per-unit completion
+rate — without callers hand-rolling a callback.
+
+Cached units land effectively for free, so the ETA is computed from
+the rolling rate of *computed* units over the remaining pending count;
+until two computed units have landed there is no rate and the ETA
+renders as ``eta ?``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import Callable, TextIO
+
+from repro.util.timing import format_seconds
+
+__all__ = ["CampaignProgress"]
+
+
+class CampaignProgress:
+    """Rolling-rate progress lines for ``run_campaign``.
+
+    Parameters
+    ----------
+    stream:
+        Where lines go (default ``sys.stderr``, resolved at call time
+        so test harnesses that swap stderr are honoured).
+    window:
+        How many recent computed-unit completions feed the rate.
+    clock:
+        Injectable monotonic clock (tests).
+    """
+
+    def __init__(self, stream: TextIO | None = None, *, window: int = 8,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self._stream = stream
+        self._clock = clock
+        self.hits = 0
+        self.computed = 0
+        self._marks: deque[float] = deque(maxlen=max(2, window))
+
+    def eta_seconds(self, done: int, total: int) -> float | None:
+        """Remaining-work estimate from the rolling computed-unit rate."""
+        remaining = total - done
+        if remaining <= 0:
+            return 0.0
+        if len(self._marks) < 2:
+            return None
+        elapsed = self._marks[-1] - self._marks[0]
+        if elapsed <= 0:
+            return None
+        rate = (len(self._marks) - 1) / elapsed
+        return remaining / rate
+
+    def render(self, done: int, total: int, label: str,
+               cached: bool) -> str:
+        eta = self.eta_seconds(done, total)
+        hit_rate = self.hits / done if done else 0.0
+        eta_text = "?" if eta is None else format_seconds(eta)
+        source = "cached" if cached else "computed"
+        return (f"[{done}/{total}] {label}: {source}  "
+                f"hits {hit_rate:.0%}  eta {eta_text}")
+
+    def __call__(self, done: int, total: int, unit, cached: bool) -> None:
+        if cached:
+            self.hits += 1
+        else:
+            self.computed += 1
+            self._marks.append(self._clock())
+        print(self.render(done, total, unit.label, cached),
+              file=self._stream if self._stream is not None else sys.stderr)

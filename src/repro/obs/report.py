@@ -1,0 +1,173 @@
+"""Turn a trace into numbers a human can act on.
+
+:func:`summarize` reduces an event stream to per-phase span
+statistics, aggregated counters / gauges / histograms, campaign
+cache-hit accounting, unit lifecycle tallies, and the top-k slowest
+spans.  :func:`render_summary` renders that as ASCII tables — what
+``python -m repro.obs report`` prints.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = ["summarize", "render_summary", "format_manifest"]
+
+
+def _span_label(span: Mapping[str, Any]) -> str:
+    attrs = span.get("attrs", {})
+    for key in ("label", "experiment", "sweep", "key"):
+        if attrs.get(key):
+            return f"{span['name']}({attrs[key]})"
+    return span["name"]
+
+
+def summarize(events: Iterable[Mapping[str, Any]], *,
+              top: int = 10) -> dict[str, Any]:
+    """Aggregate an event stream (see module docstring for the shape)."""
+    spans: list[Mapping[str, Any]] = []
+    phases: dict[str, dict[str, Any]] = {}
+    counters: dict[str, float] = {}
+    gauges: dict[str, float] = {}
+    histograms: dict[str, list[float]] = {}
+    lifecycle: dict[str, dict[str, int]] = {}
+    pids: set[int] = set()
+    t_min, t_max = None, None
+
+    for ev in events:
+        kind = ev.get("kind")
+        pids.add(ev.get("pid", 0))
+        if kind == "span":
+            spans.append(ev)
+            phase = phases.setdefault(
+                ev["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0,
+                             "errors": 0})
+            phase["count"] += 1
+            phase["total_s"] += ev["dur_s"]
+            phase["max_s"] = max(phase["max_s"], ev["dur_s"])
+            if ev.get("status") == "error":
+                phase["errors"] += 1
+            start, stop = ev["ts"], ev["ts"] + ev["dur_s"]
+            t_min = start if t_min is None else min(t_min, start)
+            t_max = stop if t_max is None else max(t_max, stop)
+        elif kind == "metric":
+            name, value = ev["name"], ev["value"]
+            if ev["metric"] == "counter":
+                counters[name] = counters.get(name, 0.0) + value
+            elif ev["metric"] == "gauge":
+                gauges[name] = value
+            else:
+                histograms.setdefault(name, []).append(value)
+        elif kind == "event":
+            by_status = lifecycle.setdefault(ev["name"], {})
+            status = ev.get("status", "ok")
+            by_status[status] = by_status.get(status, 0) + 1
+
+    for phase in phases.values():
+        phase["mean_s"] = phase["total_s"] / phase["count"]
+
+    hist_stats = {}
+    for name, values in histograms.items():
+        ordered = sorted(values)
+        hist_stats[name] = {
+            "count": len(ordered),
+            "mean": sum(ordered) / len(ordered),
+            "min": ordered[0],
+            "p50": ordered[len(ordered) // 2],
+            "max": ordered[-1],
+        }
+
+    hits = counters.get("campaign.cache.hit", 0.0)
+    misses = counters.get("campaign.cache.miss", 0.0)
+    slowest = sorted(spans, key=lambda s: s["dur_s"], reverse=True)[:top]
+    return {
+        "spans": len(spans),
+        "pids": sorted(pids),
+        "wall_s": 0.0 if t_min is None else t_max - t_min,
+        "phases": phases,
+        "counters": counters,
+        "gauges": gauges,
+        "histograms": hist_stats,
+        "lifecycle": lifecycle,
+        "cache": {
+            "hits": int(hits),
+            "misses": int(misses),
+            "rate": hits / (hits + misses) if hits + misses else None,
+        },
+        "slowest": [{"label": _span_label(s), "dur_s": s["dur_s"],
+                     "pid": s["pid"], "status": s["status"]}
+                    for s in slowest],
+    }
+
+
+def format_manifest(manifest: Mapping[str, Any] | None) -> str:
+    """One-paragraph provenance header for a rendered report."""
+    if manifest is None:
+        return "trace: no manifest (header-less event stream)"
+    machine = manifest.get("machine", {})
+    sha = manifest.get("git_sha") or "unknown"
+    return (f"trace: schema {manifest['schema']} "
+            f"v{manifest['schema_version']}\n"
+            f"  git {sha[:12]}  python {machine.get('python', '?')}  "
+            f"{machine.get('platform', '?')}\n"
+            f"  argv: {' '.join(map(str, manifest.get('argv', [])))}")
+
+
+def _ms(seconds: float) -> float:
+    return round(seconds * 1e3, 3)
+
+
+def render_summary(manifest: Mapping[str, Any] | None,
+                   summary: Mapping[str, Any]) -> str:
+    """ASCII report: phases, slowest spans, counters, cache stats."""
+    from repro.analysis.tables import render_table
+
+    parts = [format_manifest(manifest)]
+    cache = summary["cache"]
+    wall = summary["wall_s"]
+    head = (f"{summary['spans']} spans across "
+            f"{len(summary['pids'])} process(es), {wall:.3f}s wall")
+    if cache["rate"] is not None:
+        head += (f"; cache {cache['hits']} hit / {cache['misses']} miss "
+                 f"({cache['rate']:.0%})")
+    parts.append(head)
+
+    phases = summary["phases"]
+    if phases:
+        total = sum(p["total_s"] for p in phases.values()) or 1.0
+        rows = [{"phase": name, "count": p["count"],
+                 "total_ms": _ms(p["total_s"]), "mean_ms": _ms(p["mean_s"]),
+                 "max_ms": _ms(p["max_s"]),
+                 "share": f"{p['total_s'] / total:.0%}",
+                 "errors": p["errors"]}
+                for name, p in sorted(phases.items(),
+                                      key=lambda kv: -kv[1]["total_s"])]
+        parts.append("per-phase span time:\n" + render_table(rows))
+
+    if summary["slowest"]:
+        rows = [{"span": s["label"], "ms": _ms(s["dur_s"]),
+                 "pid": s["pid"], "status": s["status"]}
+                for s in summary["slowest"]]
+        parts.append("slowest spans:\n" + render_table(rows))
+
+    if summary["counters"]:
+        rows = [{"counter": name, "total": value}
+                for name, value in sorted(summary["counters"].items())]
+        parts.append("counters:\n" + render_table(rows))
+
+    if summary["histograms"]:
+        rows = [{"histogram": name, **{k: round(v, 6) if k != "count" else v
+                                       for k, v in stats.items()}}
+                for name, stats in sorted(summary["histograms"].items())]
+        parts.append("histograms:\n" + render_table(rows))
+
+    if summary["lifecycle"]:
+        # Uniform columns: the renderer takes its layout from row 0.
+        statuses = sorted({status for by in summary["lifecycle"].values()
+                           for status in by})
+        rows = [{"event": name,
+                 **{status: by.get(status, 0) for status in statuses}}
+                for name, by in sorted(summary["lifecycle"].items())]
+        parts.append("lifecycle events:\n" + render_table(rows))
+
+    return "\n\n".join(parts)

@@ -1,0 +1,205 @@
+"""Span-based tracing and metric emission.
+
+The process-global emit layer: :func:`configure` installs a sink (the
+default is the no-op :class:`~repro.obs.sinks.NullSink`), and the
+instrumented modules call :func:`span`, :func:`counter`,
+:func:`gauge`, :func:`histogram`, and :func:`event` unconditionally.
+
+Overhead policy (the reason this module looks the way it does):
+
+* With the null sink, :func:`span` returns one shared no-op context
+  manager and the metric emitters return after a single module-global
+  boolean check — no dict is built, no id is drawn, no clock is read.
+  A disabled call site costs on the order of a function call
+  (benchmarked by ``micro/obs_span_disabled`` and asserted against an
+  engine run in ``tests/obs/test_overhead.py``).
+* With a live sink, a span costs two clock reads, one id, one
+  contextvar set/reset, and one ``sink.emit``.
+
+Span ids are process-safe: ``"<pid:x>.<counter>"``, so ids minted in
+forked ``fan_out_chunks`` workers never collide with the parent's.
+Parentage rides a :class:`contextvars.ContextVar`; under the engine's
+Linux ``fork`` pool a worker inherits the parent's context, so the
+first span a worker opens is parented to whatever span was active at
+fork time — worker chunks stitch into the dispatching span with no
+plumbing through payloads.
+
+Every span exit is mirrored to the ``repro.obs`` logger at DEBUG, so
+:func:`repro.util.logging.enable_console_logging` at DEBUG level shows
+live span traffic without any sink configured.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import time
+from contextvars import ContextVar
+from itertools import count
+from pathlib import Path
+
+from repro.obs.sinks import NullSink, Sink
+from repro.util.logging import get_logger
+
+__all__ = [
+    "configure", "enabled", "current_sink", "trace_path",
+    "span", "event", "counter", "gauge", "histogram", "current_span_id",
+]
+
+_NULL = NullSink()
+_sink: Sink = _NULL
+_enabled: bool = False
+_ids = count(1)
+_current: ContextVar[str | None] = ContextVar("repro_obs_span", default=None)
+_log = get_logger("obs")
+
+
+def configure(sink: Sink | None) -> Sink:
+    """Install *sink* as the process-global telemetry sink.
+
+    ``None`` restores the default null sink.  Returns the previously
+    installed sink so callers can restore it (the CLI sessions and the
+    tests do).
+    """
+    global _sink, _enabled
+    previous = _sink
+    _sink = _NULL if sink is None else sink
+    _enabled = _sink.live
+    return previous
+
+
+def enabled() -> bool:
+    """Is a live (non-null) sink installed?
+
+    Instrumented code may check this before computing *expensive*
+    attributes; plain :func:`span`/:func:`counter` calls do their own
+    cheap check and never need it.
+    """
+    return _enabled
+
+
+def current_sink() -> Sink:
+    """The installed sink (the null sink when tracing is off)."""
+    return _sink
+
+
+def trace_path() -> Path | None:
+    """Where the installed sink persists events, if anywhere."""
+    return _sink.trace_path()
+
+
+def current_span_id() -> str | None:
+    """The id of the innermost open span in this context, if any."""
+    return _current.get()
+
+
+def _new_span_id() -> str:
+    # pid + per-process counter: unique across the forked worker pool
+    # (children inherit the counter position but differ in pid).
+    return f"{os.getpid():x}.{next(_ids)}"
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class Span:
+    """One live timed region; emitted to the sink on exit."""
+
+    __slots__ = ("name", "attrs", "span_id", "parent_id", "ts",
+                 "_t0", "_token")
+
+    def __init__(self, name: str, attrs: dict) -> None:
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "Span":
+        self.ts = time.time()
+        self.parent_id = _current.get()
+        self.span_id = _new_span_id()
+        self._token = _current.set(self.span_id)
+        self._t0 = time.perf_counter()
+        return self
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes discovered mid-span (cache hit, counts)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        dur = time.perf_counter() - self._t0
+        _current.reset(self._token)
+        status = "ok" if exc_type is None else "error"
+        _sink.emit({
+            "kind": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": os.getpid(),
+            "ts": self.ts,
+            "dur_s": dur,
+            "status": status,
+            "attrs": self.attrs,
+        })
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug("span %s [%s]: %.3f ms %s", self.name, status,
+                       dur * 1e3, self.attrs or "")
+        return False
+
+
+def span(name: str, **attrs):
+    """Open a timed region: ``with span("engine.chunk", trials=64): ...``.
+
+    Returns the shared no-op span while tracing is off, so call sites
+    never need their own guard.
+    """
+    if not _enabled:
+        return _NOOP_SPAN
+    return Span(name, attrs)
+
+
+def event(name: str, *, status: str = "ok", **attrs) -> None:
+    """Emit a point event (a state transition, not a timed region)."""
+    if not _enabled:
+        return
+    _sink.emit({"kind": "event", "name": name, "status": status,
+                "pid": os.getpid(), "ts": time.time(), "attrs": attrs})
+
+
+def _metric(metric: str, name: str, value, attrs: dict) -> None:
+    _sink.emit({"kind": "metric", "name": name, "metric": metric,
+                "value": float(value), "pid": os.getpid(),
+                "ts": time.time(), "attrs": attrs})
+
+
+def counter(name: str, value=1, **attrs) -> None:
+    """Add *value* to the counter *name* (cache hits, rounds, trials)."""
+    if _enabled:
+        _metric("counter", name, value, attrs)
+
+
+def gauge(name: str, value, **attrs) -> None:
+    """Record the current level of *name* (informed fraction, queue depth)."""
+    if _enabled:
+        _metric("gauge", name, value, attrs)
+
+
+def histogram(name: str, value, **attrs) -> None:
+    """Record one observation of the distribution *name* (per-unit
+    wall time, per-run transmit cost)."""
+    if _enabled:
+        _metric("histogram", name, value, attrs)

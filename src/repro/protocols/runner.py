@@ -28,10 +28,12 @@ frozen layout existing campaign cache entries were computed under.
 
 from __future__ import annotations
 
+import time
 from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.flooding import (
     DEFAULT_MAX_STEPS,
     FloodingResult,
@@ -108,11 +110,20 @@ def spread(
     state = protocol.state_init(n, sources)
     history = [len(sources)]
 
+    # Per-run transmit/sample kernel attribution, only when a live sink
+    # is installed: the accumulation adds two clock reads per round.
+    traced = obs.enabled()
+    transmit_s = 0.0
+
     t = 0
     while history[-1] < n and t < budget:
         snap = graph.snapshot()
         active = protocol.active_mask(state, informed, t, rng_proto)
+        if traced:
+            t0 = time.perf_counter()
         fresh = protocol.transmit(snap, state, informed, active, t, rng_proto)
+        if traced:
+            transmit_s += time.perf_counter() - t0
         count = history[-1]
         if fresh.any():
             informed |= fresh
@@ -123,6 +134,11 @@ def spread(
         history.append(count)
         if count < n and protocol.stalled(state, informed, t):
             break
+
+    if traced:
+        obs.histogram("protocol.transmit_s", transmit_s,
+                      protocol=protocol.name, rounds=t)
+        obs.counter("protocol.rounds", t, protocol=protocol.name)
 
     return FloodingResult(
         source=sources,
@@ -203,9 +219,11 @@ def spreading_trials(
                                           else chunk_size))
         return run_plan(plan, backend=backend, jobs=jobs).to_results()
     n = graph.num_nodes
-    results: list[FloodingResult] = []
-    for run_seed, source_seed in protocol_trial_streams(seed, 0, trials):
-        src = draw_trial_source(source, n, source_seed)
-        results.append(spread(protocol, graph, src, seed=run_seed,
-                              max_steps=max_steps))
-    return results
+    with obs.span("protocol.trials", protocol=protocol.name,
+                  backend=backend, trials=trials, n=n):
+        results: list[FloodingResult] = []
+        for run_seed, source_seed in protocol_trial_streams(seed, 0, trials):
+            src = draw_trial_source(source, n, source_seed)
+            results.append(spread(protocol, graph, src, seed=run_seed,
+                                  max_steps=max_steps))
+        return results

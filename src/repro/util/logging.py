@@ -22,14 +22,22 @@ def get_logger(name: str | None = None) -> logging.Logger:
     return logging.getLogger(_ROOT_NAME + "." + name)
 
 
+#: Sentinel attribute marking the console handler this module attached.
+#: An ``isinstance(h, logging.StreamHandler)`` check is the wrong test:
+#: ``FileHandler`` subclasses ``StreamHandler``, so a pre-attached file
+#: handler would silently suppress the console handler.
+_CONSOLE_SENTINEL = "_repro_console_handler"
+
+
 def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
     """Attach a stream handler to the ``repro`` logger (idempotent)."""
     logger = get_logger()
     logger.setLevel(level)
-    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+    if not any(getattr(h, _CONSOLE_SENTINEL, False) for h in logger.handlers):
         handler = logging.StreamHandler()
         handler.setFormatter(
             logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s", "%H:%M:%S")
         )
+        setattr(handler, _CONSOLE_SENTINEL, True)
         logger.addHandler(handler)
     return logger

@@ -1,0 +1,26 @@
+"""Shared fixtures: every test leaves the global sink as it found it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.sinks import MemorySink
+from repro.obs.trace import configure
+
+
+@pytest.fixture(autouse=True)
+def _restore_sink():
+    """Tracing state must never leak between tests."""
+    from repro.obs import trace
+    previous = trace.current_sink()
+    yield
+    configure(previous if previous.live else None)
+
+
+@pytest.fixture()
+def memory_sink():
+    """A live in-memory sink installed for the duration of the test."""
+    sink = MemorySink()
+    previous = configure(sink)
+    yield sink
+    configure(previous if previous.live else None)

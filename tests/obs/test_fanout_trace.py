@@ -1,0 +1,97 @@
+"""Span stitching across ``fan_out_chunks`` worker processes.
+
+Workers are forked (Linux), so they inherit both the configured JSONL
+sink (an O_APPEND fd — atomic line appends) and the tracing context
+that was current at fork time.  Their ``engine.chunk`` spans must land
+in the same trace file and parent to the ``engine.fan_out`` span that
+was open when the pool spawned.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.edgemeg.meg import EdgeMEG
+from repro.engine import SimulationPlan, run_plan
+from repro.obs.sinks import JsonlSink, MemorySink
+
+
+def make_meg():
+    return EdgeMEG(12, 0.3, 0.3)
+
+
+def _plan(**kwargs):
+    kwargs.setdefault("trials", 6)
+    kwargs.setdefault("seed", 11)
+    kwargs.setdefault("chunk_size", 2)
+    return SimulationPlan(model_factory=make_meg, **kwargs)
+
+
+class TestInProcessNesting:
+    def test_chunk_spans_nest_under_fan_out_under_plan(self, memory_sink):
+        run_plan(_plan(), backend="parallel", jobs=1)
+        by_name = {}
+        for ev in memory_sink.events:
+            if ev["kind"] == "span":
+                by_name.setdefault(ev["name"], []).append(ev)
+        chunks = by_name["engine.chunk"]
+        [fan_out] = by_name["engine.fan_out"]
+        [plan_span] = by_name["engine.plan"]
+        assert len(chunks) == 3
+        assert all(c["parent_id"] == fan_out["span_id"] for c in chunks)
+        assert fan_out["parent_id"] == plan_span["span_id"]
+        assert plan_span["parent_id"] is None
+
+    def test_children_are_emitted_before_parents(self, memory_sink):
+        run_plan(_plan(), backend="parallel", jobs=1)
+        names = [e["name"] for e in memory_sink.events
+                 if e["kind"] == "span"]
+        assert names.index("engine.fan_out") > names.index("engine.chunk")
+        assert names[-1] == "engine.plan"
+
+
+@pytest.mark.skipif(sys.platform != "linux",
+                    reason="fork-based span stitching is Linux-only")
+class TestForkedWorkers:
+    def test_worker_spans_stitch_into_one_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, argv=["test"])
+        previous = obs.configure(sink)
+        try:
+            run_plan(_plan(trials=12), backend="parallel", jobs=2)
+        finally:
+            obs.configure(previous if previous.live else None)
+            sink.close()
+
+        _, events = obs.read_trace(path)
+        spans = [e for e in events if e["kind"] == "span"]
+        chunks = [s for s in spans if s["name"] == "engine.chunk"]
+        [fan_out] = [s for s in spans if s["name"] == "engine.fan_out"]
+        assert len(chunks) == 6
+        # Parent + at least one worker wrote to the same file.
+        assert len({s["pid"] for s in spans}) >= 2
+        assert fan_out["pid"] == os.getpid()
+        for chunk in chunks:
+            assert chunk["pid"] != os.getpid()
+            # Fork inherits the context: chunk spans parent to the
+            # fan-out span that was open when the pool spawned.
+            assert chunk["parent_id"] == fan_out["span_id"]
+            assert chunk["span_id"].startswith(f"{chunk['pid']:x}.")
+
+    def test_tracing_does_not_change_results(self):
+        plan = _plan(trials=8, seed=23)
+        baseline = run_plan(plan, backend="parallel", jobs=2)
+        sink = MemorySink()
+        previous = obs.configure(sink)
+        try:
+            traced = run_plan(plan, backend="parallel", jobs=2)
+        finally:
+            obs.configure(previous if previous.live else None)
+        assert np.array_equal(baseline.times, traced.times)
+        assert np.array_equal(baseline.sources, traced.sources)
+        assert sink.events  # the traced run did record something

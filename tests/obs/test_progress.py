@@ -1,0 +1,93 @@
+"""CampaignProgress: ETA math, hit-rate accounting, output format."""
+
+from __future__ import annotations
+
+import io
+from types import SimpleNamespace
+
+from repro.obs.progress import CampaignProgress
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _unit(label="E1/a"):
+    return SimpleNamespace(label=label)
+
+
+class TestEta:
+    def test_no_eta_until_two_computed_units(self):
+        clock = FakeClock()
+        progress = CampaignProgress(io.StringIO(), clock=clock)
+        assert progress.eta_seconds(done=0, total=10) is None
+        progress(1, 10, _unit(), cached=False)
+        assert progress.eta_seconds(1, 10) is None
+
+    def test_eta_from_rolling_rate(self):
+        clock = FakeClock()
+        progress = CampaignProgress(io.StringIO(), clock=clock)
+        # One computed unit every 2 seconds.
+        for i in range(1, 4):
+            clock.now = 2.0 * i
+            progress(i, 10, _unit(), cached=False)
+        # 3 marks over 4s -> rate 0.5 units/s; 7 remaining -> 14s.
+        assert progress.eta_seconds(3, 10) == 14.0
+
+    def test_eta_zero_when_done(self):
+        progress = CampaignProgress(io.StringIO(), clock=FakeClock())
+        assert progress.eta_seconds(10, 10) == 0.0
+
+    def test_cached_units_do_not_feed_the_rate(self):
+        clock = FakeClock()
+        progress = CampaignProgress(io.StringIO(), clock=clock)
+        clock.now = 1.0
+        progress(1, 4, _unit(), cached=True)
+        clock.now = 2.0
+        progress(2, 4, _unit(), cached=True)
+        # Two cached completions: still no computed-rate ETA.
+        assert progress.eta_seconds(2, 4) is None
+        assert progress.hits == 2 and progress.computed == 0
+
+    def test_window_bounds_the_rate_history(self):
+        clock = FakeClock()
+        progress = CampaignProgress(io.StringIO(), window=3, clock=clock)
+        # Slow early units, fast recent ones: the window forgets the
+        # slow start.
+        for i, t in enumerate((0.0, 100.0, 101.0, 102.0, 103.0), start=1):
+            clock.now = t
+            progress(i, 8, _unit(), cached=False)
+        # Last 3 marks: 101, 102, 103 -> rate 1/s; 3 remaining -> 3s.
+        assert progress.eta_seconds(5, 8) == 3.0
+
+
+class TestRendering:
+    def test_line_format(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        progress = CampaignProgress(stream, clock=clock)
+        progress(1, 4, _unit("E1/quick"), cached=True)
+        line = stream.getvalue().strip()
+        assert line.startswith("[1/4] E1/quick: cached")
+        assert "hits 100%" in line
+        assert "eta" in line
+
+    def test_unknown_eta_renders_question_mark(self):
+        progress = CampaignProgress(io.StringIO(), clock=FakeClock())
+        text = progress.render(1, 4, "x", cached=False)
+        assert text.endswith("eta ?")
+
+    def test_mixed_hit_rate(self):
+        clock = FakeClock()
+        stream = io.StringIO()
+        progress = CampaignProgress(stream, clock=clock)
+        progress(1, 4, _unit(), cached=True)
+        clock.now = 1.0
+        progress(2, 4, _unit(), cached=False)
+        last = stream.getvalue().strip().splitlines()[-1]
+        assert "hits 50%" in last
+        assert "computed" in last

@@ -1,0 +1,148 @@
+"""Report aggregation and the ``python -m repro.obs`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs.cli import main
+from repro.obs.report import render_summary, summarize
+from repro.obs.sinks import JsonlSink
+
+
+def _span(name, dur, *, pid=1, ts=0.0, status="ok", attrs=None):
+    return {"kind": "span", "name": name, "span_id": f"{pid}.{ts}",
+            "parent_id": None, "pid": pid, "ts": ts, "dur_s": dur,
+            "status": status, "attrs": attrs or {}}
+
+
+def _metric(metric, name, value):
+    return {"kind": "metric", "name": name, "metric": metric,
+            "value": value, "pid": 1, "ts": 0.0, "attrs": {}}
+
+
+class TestSummarize:
+    def test_phase_aggregation(self):
+        events = [_span("a", 1.0), _span("a", 3.0), _span("b", 0.5)]
+        s = summarize(events)
+        assert s["spans"] == 3
+        assert s["phases"]["a"] == {"count": 2, "total_s": 4.0,
+                                    "max_s": 3.0, "errors": 0,
+                                    "mean_s": 2.0}
+        assert s["phases"]["b"]["count"] == 1
+
+    def test_wall_clock_spans_processes(self):
+        events = [_span("a", 2.0, pid=1, ts=10.0),
+                  _span("a", 1.0, pid=2, ts=13.0)]
+        s = summarize(events)
+        assert s["wall_s"] == 4.0  # 10.0 .. 14.0
+        assert s["pids"] == [1, 2]
+
+    def test_counters_sum_gauges_keep_last(self):
+        events = [_metric("counter", "c", 2), _metric("counter", "c", 3),
+                  _metric("gauge", "g", 0.1), _metric("gauge", "g", 0.9)]
+        s = summarize(events)
+        assert s["counters"]["c"] == 5
+        assert s["gauges"]["g"] == 0.9
+
+    def test_histogram_stats(self):
+        events = [_metric("histogram", "h", v) for v in (1.0, 3.0, 2.0)]
+        stats = summarize(events)["histograms"]["h"]
+        assert stats["count"] == 3
+        assert stats["min"] == 1.0 and stats["max"] == 3.0
+        assert stats["mean"] == 2.0
+
+    def test_cache_rate_from_campaign_counters(self):
+        events = [_metric("counter", "campaign.cache.hit", 3),
+                  _metric("counter", "campaign.cache.miss", 1)]
+        cache = summarize(events)["cache"]
+        assert cache == {"hits": 3, "misses": 1, "rate": 0.75}
+
+    def test_cache_rate_none_without_campaign(self):
+        assert summarize([_span("a", 1.0)])["cache"]["rate"] is None
+
+    def test_slowest_spans_ranked_and_labelled(self):
+        events = [_span("unit", 0.1, attrs={"label": "E1"}),
+                  _span("unit", 0.9, attrs={"label": "E2"}),
+                  _span("other", 0.5)]
+        slowest = summarize(events, top=2)["slowest"]
+        assert [s["label"] for s in slowest] == ["unit(E2)", "other"]
+
+    def test_error_spans_counted(self):
+        s = summarize([_span("a", 1.0, status="error")])
+        assert s["phases"]["a"]["errors"] == 1
+
+    def test_lifecycle_tally(self):
+        events = [{"kind": "event", "name": "campaign.unit", "status": st,
+                   "pid": 1, "ts": 0.0, "attrs": {}}
+                  for st in ("planned", "planned", "checkpointed")]
+        s = summarize(events)
+        assert s["lifecycle"]["campaign.unit"] == {"planned": 2,
+                                                   "checkpointed": 1}
+
+
+class TestRender:
+    def test_render_contains_the_load_bearing_sections(self):
+        events = [_span("engine.chunk", 0.2),
+                  _metric("counter", "campaign.cache.hit", 1),
+                  _metric("counter", "campaign.cache.miss", 1),
+                  _metric("histogram", "h", 0.5),
+                  {"kind": "event", "name": "campaign.unit",
+                   "status": "cached", "pid": 1, "ts": 0.0, "attrs": {}}]
+        text = render_summary(None, summarize(events))
+        for needle in ("per-phase span time", "engine.chunk",
+                       "cache 1 hit / 1 miss", "counters",
+                       "histograms", "lifecycle events"):
+            assert needle in text, needle
+
+    def test_render_empty_trace(self):
+        text = render_summary(None, summarize([]))
+        assert "0 spans" in text
+
+
+class TestCli:
+    def _write_trace(self, path):
+        sink = JsonlSink(path, argv=["prog"])
+        previous = obs.configure(sink)
+        try:
+            with obs.span("phase.x"):
+                obs.counter("campaign.cache.hit")
+        finally:
+            obs.configure(previous if previous.live else None)
+            sink.close()
+
+    def test_report_renders(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        self._write_trace(path)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "phase.x" in out and "repro.obs/trace" in out
+
+    def test_summary_is_compact(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        self._write_trace(path)
+        assert main(["summary", str(path)]) == 0
+        assert "1 spans" in capsys.readouterr().out
+
+    def test_validate_accepts_good_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        self._write_trace(path)
+        assert main(["validate", str(path)]) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_validate_rejects_bad_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "span"}\n')
+        assert main(["validate", str(path)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_validate_rejects_headerless_trace(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(json.dumps(
+            {"kind": "event", "name": "x", "status": "ok", "pid": 1,
+             "ts": 0.0, "attrs": {}}) + "\n")
+        assert main(["validate", str(path)]) == 1
+        assert "no manifest" in capsys.readouterr().err
+
+    def test_validate_missing_file(self, tmp_path, capsys):
+        assert main(["validate", str(tmp_path / "nope.jsonl")]) == 1

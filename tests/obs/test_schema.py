@@ -1,0 +1,128 @@
+"""Trace event schema: validation, the frozen hash, JSONL round-trips."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.events import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    build_manifest,
+    read_trace,
+    schema_fingerprint,
+    validate_event,
+)
+from repro.obs.sinks import JsonlSink
+
+#: The pinned layout hash of trace schema v1.  If this test fails you
+#: have changed the shape of the JSONL trace events: bump
+#: SCHEMA_VERSION and update the hash — historical traces must stay
+#: parseable on their recorded version (the repro.bench discipline).
+FROZEN_SCHEMA_V1 = \
+    "5f604f7486bdf93638b9e9b83ebf55d88a5f8d93cbb2534f5d0a780dd2e860a7"
+
+
+def test_schema_fingerprint_is_frozen():
+    assert SCHEMA_VERSION == 1
+    assert schema_fingerprint() == FROZEN_SCHEMA_V1
+
+
+def test_manifest_validates():
+    manifest = build_manifest(argv=["prog", "--flag"])
+    validate_event(manifest)
+    assert manifest["schema"] == SCHEMA_NAME
+    assert manifest["argv"] == ["prog", "--flag"]
+    assert sorted(manifest["machine"]) == [
+        "cpu_count", "implementation", "numpy", "platform", "python"]
+
+
+def test_wrong_schema_version_is_rejected():
+    manifest = build_manifest()
+    manifest["schema_version"] = 99
+    with pytest.raises(ValueError, match="unsupported trace schema"):
+        validate_event(manifest)
+
+
+def test_unknown_kind_is_rejected():
+    with pytest.raises(ValueError, match="unknown trace event kind"):
+        validate_event({"kind": "mystery"})
+
+
+def test_missing_fields_are_rejected():
+    with pytest.raises(ValueError, match="missing required fields"):
+        validate_event({"kind": "span", "name": "x"})
+
+
+def test_bad_span_status_is_rejected():
+    ev = {"kind": "span", "name": "x", "span_id": "1.1", "parent_id": None,
+          "pid": 1, "ts": 0.0, "dur_s": 0.1, "status": "meh", "attrs": {}}
+    with pytest.raises(ValueError, match="span status"):
+        validate_event(ev)
+
+
+def test_bad_metric_type_is_rejected():
+    ev = {"kind": "metric", "name": "x", "metric": "summary", "value": 1.0,
+          "pid": 1, "ts": 0.0, "attrs": {}}
+    with pytest.raises(ValueError, match="metric type"):
+        validate_event(ev)
+
+
+def test_extra_fields_are_tolerated():
+    """Forward compatibility within a version: extra keys never crash."""
+    ev = {"kind": "event", "name": "x", "status": "ok", "pid": 1,
+          "ts": 0.0, "attrs": {}, "future_field": 42}
+    validate_event(ev)
+
+
+class TestJsonlRoundTrip:
+    def test_trace_round_trips(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, argv=["test"])
+        previous = obs.configure(sink)
+        try:
+            with obs.span("phase", n=3):
+                obs.counter("count", 2)
+            obs.event("lifecycle", status="planned", label="E1")
+        finally:
+            obs.configure(previous if previous.live else None)
+            sink.close()
+
+        manifest, events = read_trace(path)
+        assert manifest is not None
+        assert manifest["argv"] == ["test"]
+        # Emission order: the counter fires inside the span, the span
+        # lands on exit, the lifecycle event after it.
+        kinds = [e["kind"] for e in events]
+        assert kinds == ["metric", "span", "event"]
+        # Everything that went in comes back out, byte-stable under a
+        # second encode.
+        for event in events:
+            assert json.loads(json.dumps(event)) == event
+
+    def test_malformed_line_is_located(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"kind": "span"}\n')
+        with pytest.raises(ValueError, match="trace.jsonl:1"):
+            read_trace(path)
+
+    def test_non_json_line_is_located(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("not json at all\n")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            read_trace(path)
+
+    def test_duplicate_manifest_is_rejected(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        line = json.dumps(build_manifest(argv=[]), default=str)
+        path.write_text(line + "\n" + line + "\n")
+        with pytest.raises(ValueError, match="duplicate trace manifest"):
+            read_trace(path)
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n\n")
+        manifest, events = read_trace(path)
+        assert manifest is None and events == []

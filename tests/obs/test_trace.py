@@ -1,0 +1,131 @@
+"""Span mechanics: ids, nesting, status, and the disabled fast path."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.obs.sinks import MemorySink
+from repro.obs.trace import _NOOP_SPAN, configure
+
+
+class TestDisabledPath:
+    def test_default_sink_is_null_and_disabled(self):
+        assert not obs.enabled()
+        assert not obs.current_sink().live
+
+    def test_disabled_span_is_the_shared_noop(self):
+        assert obs.span("anything", a=1) is _NOOP_SPAN
+        assert obs.span("other") is _NOOP_SPAN
+
+    def test_noop_span_supports_the_full_api(self):
+        with obs.span("x") as sp:
+            assert sp.set(later=True) is sp
+
+    def test_disabled_metrics_emit_nothing(self):
+        sink = MemorySink()
+        # NOT configured: the global sink stays null.
+        obs.counter("c")
+        obs.gauge("g", 1.0)
+        obs.histogram("h", 2.0)
+        obs.event("e")
+        assert sink.events == []
+
+
+class TestLiveSpans:
+    def test_span_emits_schema_valid_event(self, memory_sink):
+        with obs.span("phase.one", n=64):
+            pass
+        [ev] = memory_sink.events
+        obs.validate_event(ev)
+        assert ev["name"] == "phase.one"
+        assert ev["attrs"] == {"n": 64}
+        assert ev["status"] == "ok"
+        assert ev["pid"] == os.getpid()
+        assert ev["dur_s"] >= 0.0
+
+    def test_nesting_links_parent_ids(self, memory_sink):
+        with obs.span("outer") as outer:
+            assert obs.current_span_id() == outer.span_id
+            with obs.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert obs.current_span_id() is None
+        inner_ev, outer_ev = memory_sink.events
+        assert inner_ev["name"] == "inner"
+        assert inner_ev["parent_id"] == outer_ev["span_id"]
+        assert outer_ev["parent_id"] is None
+
+    def test_children_exit_before_parents(self, memory_sink):
+        with obs.span("a"):
+            with obs.span("b"):
+                with obs.span("c"):
+                    pass
+        names = [e["name"] for e in memory_sink.events]
+        assert names == ["c", "b", "a"]
+
+    def test_span_ids_are_unique_and_pid_prefixed(self, memory_sink):
+        for _ in range(10):
+            with obs.span("s"):
+                pass
+        ids = [e["span_id"] for e in memory_sink.events]
+        assert len(set(ids)) == len(ids)
+        assert all(i.startswith(f"{os.getpid():x}.") for i in ids)
+
+    def test_exception_marks_status_error_and_propagates(self, memory_sink):
+        with pytest.raises(RuntimeError, match="boom"):
+            with obs.span("failing"):
+                raise RuntimeError("boom")
+        [ev] = memory_sink.events
+        assert ev["status"] == "error"
+        assert obs.current_span_id() is None  # context restored
+
+    def test_set_attaches_mid_span_attributes(self, memory_sink):
+        with obs.span("s", fixed=1) as sp:
+            sp.set(hit=True)
+        [ev] = memory_sink.events
+        assert ev["attrs"] == {"fixed": 1, "hit": True}
+
+
+class TestMetrics:
+    def test_counter_gauge_histogram_shapes(self, memory_sink):
+        obs.counter("hits", 3, layer="store")
+        obs.gauge("depth", 0.5)
+        obs.histogram("lat", 0.01)
+        kinds = [(e["metric"], e["name"], e["value"])
+                 for e in memory_sink.events]
+        assert kinds == [("counter", "hits", 3.0), ("gauge", "depth", 0.5),
+                         ("histogram", "lat", 0.01)]
+        for ev in memory_sink.events:
+            obs.validate_event(ev)
+
+    def test_point_event(self, memory_sink):
+        obs.event("campaign.unit", status="planned", label="E1")
+        [ev] = memory_sink.events
+        obs.validate_event(ev)
+        assert ev["kind"] == "event"
+        assert ev["status"] == "planned"
+        assert ev["attrs"]["label"] == "E1"
+
+
+class TestConfigure:
+    def test_configure_returns_previous_sink(self):
+        first = MemorySink()
+        second = MemorySink()
+        base = configure(first)
+        assert configure(second) is first
+        assert configure(base if base.live else None).live
+
+    def test_configure_none_restores_null(self):
+        configure(MemorySink())
+        assert obs.enabled()
+        configure(None)
+        assert not obs.enabled()
+
+    def test_debug_log_mirror(self, memory_sink, caplog):
+        import logging
+        with caplog.at_level(logging.DEBUG, logger="repro.obs"):
+            with obs.span("mirrored.phase"):
+                pass
+        assert any("mirrored.phase" in rec.message for rec in caplog.records)

@@ -50,3 +50,30 @@ class TestLogging:
         count = len(logger.handlers)
         enable_console_logging(logging.DEBUG)
         assert len(logger.handlers) == count
+
+    def test_file_handler_does_not_suppress_console(self, tmp_path):
+        """Regression: ``FileHandler`` subclasses ``StreamHandler``, so
+        an isinstance check would treat a pre-attached file handler as
+        "console already enabled" and silently skip the console handler."""
+        logger = get_logger()
+        # Start from a console-less state: earlier tests may have left
+        # the module's own console handler attached.
+        for handler in list(logger.handlers):
+            if getattr(handler, "_repro_console_handler", False):
+                logger.removeHandler(handler)
+        file_handler = logging.FileHandler(tmp_path / "repro.log")
+        logger.addHandler(file_handler)
+        try:
+            before = list(logger.handlers)
+            enable_console_logging(logging.INFO)
+            added = [h for h in logger.handlers if h not in before]
+            assert len(added) == 1
+            assert type(added[0]) is logging.StreamHandler
+            # ... and a second call still attaches nothing new.
+            enable_console_logging(logging.INFO)
+            assert len(logger.handlers) == len(before) + 1
+        finally:
+            logger.removeHandler(file_handler)
+            file_handler.close()
+            for h in [h for h in logger.handlers if h not in before]:
+                logger.removeHandler(h)
