@@ -1,14 +1,17 @@
 #!/usr/bin/env python
 """Observability quickstart: trace a run, then read the trace.
 
-Three stops:
+Four stops:
 
 1. run an E1 campaign with a JSONL trace sink attached and render the
    resulting per-phase breakdown (what ``--trace`` + ``python -m
    repro.obs report`` do),
 2. re-run it warm to watch the cache-hit counters flip,
 3. instrument a scrap of your own code with ``obs.span`` / metrics and
-   summarize it straight from an in-memory sink — no file needed.
+   summarize it straight from an in-memory sink — no file needed,
+4. profile a trace as a span tree (self vs child time, CPU, peak RSS)
+   and diff two traces to see which span path a slowdown lives in
+   (what ``python -m repro.obs profile`` / ``diff`` do).
 
 Run:  python examples/trace_quickstart.py
 """
@@ -75,6 +78,56 @@ def instrument_your_own_code() -> None:
         obs.configure(previous if previous.live else None)
     print("== your own spans, summarized from memory ==")
     print(obs.render_summary(None, obs.summarize(memory.events)))
+    print()
+
+
+def _spin(rounds: int) -> int:
+    return sum(i * i for i in range(rounds))
+
+
+def _synthetic_trace(path: Path, kernel_rounds: int) -> None:
+    """One "run": a root span over a hot kernel and a fixed-cost tail."""
+    sink = JsonlSink(path, argv=["trace_quickstart", "profile-demo"])
+    previous = obs.configure(sink)
+    try:
+        with obs.span("demo.run"):
+            with obs.span("demo.kernel", rounds=kernel_rounds):
+                _spin(kernel_rounds)
+            with obs.span("demo.tail"):
+                _spin(50_000)
+    finally:
+        obs.configure(previous if previous.live else None)
+        sink.close()
+
+
+def profile_and_diff(workdir: Path) -> None:
+    from repro.obs import diff_traces, profile_trace, render_diff, \
+        render_profile
+
+    # Two runs of "the same" workload — except the kernel got ~5x
+    # slower in the second.  Every live span carries cpu_s / peak RSS
+    # (see repro.obs.resources), so the profile shows where CPU went,
+    # not just wall clock.
+    before, after = workdir / "before.jsonl", workdir / "after.jsonl"
+    _synthetic_trace(before, kernel_rounds=100_000)
+    _synthetic_trace(after, kernel_rounds=500_000)
+
+    _, stats = profile_trace(after)
+    print("== span-tree profile of the slow run "
+          "(self time, CPU, peak RSS) ==")
+    print(render_profile(stats))
+    print()
+
+    # The diff ranks span paths by how much SELF time moved, so
+    # demo.kernel tops the list — its parent demo.run inherited the
+    # regression in total time but answers for none of it itself.
+    print("== before -> after: which span path slowed down? ==")
+    print(render_diff(diff_traces(before, after), top=5))
+    print()
+    print("CLI spelling:")
+    print("  python -m repro.obs profile after.jsonl")
+    print("  python -m repro.obs diff before.jsonl after.jsonl")
+    print("  python -m repro.bench run --suite engine --trace traces/")
 
 
 if __name__ == "__main__":
@@ -85,4 +138,5 @@ if __name__ == "__main__":
         #       --trace r/trace.jsonl
         #   python -m repro.obs report r/trace.jsonl
         traced_campaign(Path(tmp) / "campaign")
-    instrument_your_own_code()
+        instrument_your_own_code()
+        profile_and_diff(Path(tmp))

@@ -64,6 +64,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-floors", action="store_true",
                      help="report speedup-floor violations without "
                           "failing (baseline bootstrap on slow hosts)")
+    run.add_argument("--trace", type=Path, default=None, metavar="DIR",
+                     help="write one JSONL telemetry trace per case "
+                          "into DIR (TRACE_<suite>_<case>.jsonl) — "
+                          "profile with 'python -m repro.obs profile', "
+                          "diff runs with 'python -m repro.obs diff'")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-case progress lines")
 
@@ -77,6 +82,15 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--max-ratio", type=float, default=None,
                          help="override every case's absolute-time "
                               "tolerance multiplier")
+    compare.add_argument("--trace-dir", type=Path, default=None,
+                         metavar="DIR",
+                         help="per-case traces of the CURRENT run (from "
+                              "'run --trace'); regressions then print "
+                              "the span paths that moved")
+    compare.add_argument("--baseline-trace-dir", type=Path, default=None,
+                         metavar="DIR",
+                         help="per-case traces of the BASELINE run to "
+                              "diff failing cases against")
     compare.add_argument("--quiet", action="store_true",
                          help="only print failures")
 
@@ -108,7 +122,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   f"{measurement.rounds} round(s)", file=sys.stderr)
 
     result = run_suite(args.suite, config=config, pattern=args.case,
-                       progress=progress)
+                       progress=progress, trace_dir=args.trace)
     out = args.out or Path(result_filename(args.suite))
     out.parent.mkdir(parents=True, exist_ok=True)
     out.write_text(result.to_json())
@@ -117,6 +131,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(suite_table(result))
     print(f"wrote {out} ({len(result.cases)} cases, "
           f"git {(result.git_sha or 'unknown')[:12]})")
+    if args.trace is not None:
+        print(f"wrote {len(result.cases)} per-case trace(s) under "
+              f"{args.trace}")
 
     failures = floor_failures(result)
     for failure in failures:
@@ -146,9 +163,41 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     for failure in report.failures:
         print(f"REGRESSION: {failure.name}: {failure.note}",
               file=sys.stderr)
+        _print_failure_diff(failure.name, args.baseline_trace_dir,
+                            args.trace_dir)
     if report.ok:
         print(f"{len(report.comparisons)} cases within tolerance")
     return 0 if report.ok else 1
+
+
+def _print_failure_diff(case_name: str, baseline_trace_dir: Path | None,
+                        trace_dir: Path | None, *, top: int = 5) -> None:
+    """Attribute a tripped gate: diff the failing case's traces.
+
+    Prints the top span paths by self-time movement when both runs
+    were traced; silent when either trace is missing (the gate verdict
+    stands on the artifact numbers alone).
+    """
+    if baseline_trace_dir is None or trace_dir is None:
+        return
+    from repro.bench.runner import trace_filename
+
+    name = trace_filename(case_name)
+    baseline_trace = baseline_trace_dir / name
+    current_trace = trace_dir / name
+    if not (baseline_trace.exists() and current_trace.exists()):
+        return
+    from repro.obs.diff import diff_traces, render_diff
+
+    try:
+        diff = diff_traces(baseline_trace, current_trace)
+    except (ValueError, OSError) as exc:
+        print(f"  (trace diff unavailable: {exc})", file=sys.stderr)
+        return
+    print(f"  span paths that moved ({baseline_trace.name}, "
+          f"baseline -> current):", file=sys.stderr)
+    print("  " + render_diff(diff, top=top).replace("\n", "\n  "),
+          file=sys.stderr)
 
 
 def _cmd_report(args: argparse.Namespace) -> int:

@@ -6,10 +6,21 @@ back a :class:`~repro.bench.results.SuiteResult`.  Floor violations are
 reported as strings (not exceptions) so the CLI can still write the
 artifact — a failing perf gate with no evidence attached would be the
 worst of both worlds.
+
+With *trace_dir* set, every case is measured under its own JSONL
+telemetry sink (``TRACE_<suite>_<case>.jsonl``), wrapped in one
+``bench.case`` span.  Spans opened by the workload itself (an engine
+case's plan / fan-out / chunk spans) then land in the per-case trace,
+so a tripped regression gate can be profiled and diffed
+(``python -m repro.obs diff``) instead of eyeballed.  The sink wraps
+the *whole* measurement — calibration included — never the inside of a
+timed region; the per-span cost inside traced workloads is what the
+generous compare tolerances absorb.
 """
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable
 
 from repro.bench.case import BenchCase, iter_cases, suite_names
@@ -17,30 +28,65 @@ from repro.bench.results import CaseResult, SuiteResult
 from repro.bench.timer import Measurement, MeasureConfig, measure_case
 from repro.util.validation import require
 
-__all__ = ["run_suite", "floor_failures"]
+__all__ = ["run_suite", "floor_failures", "trace_filename"]
 
 Progress = Callable[[BenchCase, Measurement], None]
+
+
+def trace_filename(case_name: str) -> str:
+    """The per-case trace artifact name (case names contain ``/``)."""
+    return "TRACE_" + case_name.replace("/", "_") + ".jsonl"
+
+
+def _measure_traced(case: BenchCase, config: MeasureConfig,
+                    trace_dir: Path, suite: str) -> Measurement:
+    from repro import obs
+    from repro.obs.sinks import JsonlSink
+
+    sink = JsonlSink(trace_dir / trace_filename(case.name),
+                     argv=["repro.bench", "run", "--suite", suite,
+                           "--case", case.name])
+    previous = obs.configure(sink)
+    try:
+        with obs.span("bench.case", case=case.name, suite=suite):
+            measurement, _ = measure_case(case, config)
+    finally:
+        # Restore whatever was installed before — and guard against
+        # cases that reconfigure the global sink themselves (the
+        # micro/obs_* cases do, deliberately).
+        obs.configure(previous if previous.live else None)
+        sink.close()
+    return measurement
 
 
 def run_suite(suite: str, *,
               config: MeasureConfig | None = None,
               pattern: str | None = None,
-              progress: Progress | None = None) -> SuiteResult:
+              progress: Progress | None = None,
+              trace_dir: str | Path | None = None) -> SuiteResult:
     """Measure every case of *suite* (optionally fnmatch-filtered).
 
     Speedups are computed from best-of-round times against each case's
     ``ref``; a reference excluded by *pattern* yields ``speedup=None``
-    rather than an error, so partial runs stay useful.
+    rather than an error, so partial runs stay useful.  *trace_dir*
+    writes one JSONL telemetry trace per case (see the module
+    docstring).
     """
     config = config or MeasureConfig()
     cases = list(iter_cases(suite, pattern))
     require(suite in suite_names(), f"unknown suite {suite!r} "
             f"(known: {', '.join(suite_names())})")
     require(len(cases) > 0, f"no cases match {pattern!r} in suite {suite!r}")
+    if trace_dir is not None:
+        trace_dir = Path(trace_dir)
+        trace_dir.mkdir(parents=True, exist_ok=True)
 
     measured: dict[str, Measurement] = {}
     for case in cases:
-        measurement, _ = measure_case(case, config)
+        if trace_dir is None:
+            measurement, _ = measure_case(case, config)
+        else:
+            measurement = _measure_traced(case, config, trace_dir, suite)
         measured[case.name] = measurement
         if progress is not None:
             progress(case, measurement)

@@ -107,7 +107,9 @@ def print_experiment_report(report, units: Iterable[WorkUnit], *,
 
 def campaign_status(store: ResultStore,
                     plan: CampaignPlan) -> list[dict[str, Any]]:
-    """One status row per unit: cached?, verdict, elapsed, key prefix."""
+    """One status row per unit: cached?, verdict, elapsed, resource
+    usage (CPU seconds / peak RSS of whichever process computed it),
+    key prefix."""
     rows = []
     for unit in plan:
         payload = store.get(unit.key)
@@ -118,11 +120,18 @@ def campaign_status(store: ResultStore,
             "cached": payload is not None,
             "verdict": "",
             "elapsed_s": "",
+            "cpu_s": "",
+            "rss_mb": "",
         }
         if payload is not None:
             meta = payload.get("meta", {})
             if meta.get("elapsed") is not None:
                 row["elapsed_s"] = round(meta["elapsed"], 3)
+            res = meta.get("resources") or {}
+            if res.get("cpu_s") is not None:
+                row["cpu_s"] = round(res["cpu_s"], 3)
+            if res.get("peak_rss_kb") is not None:
+                row["rss_mb"] = round(res["peak_rss_kb"] / 1024, 1)
             if unit.kind == "experiment":
                 row["verdict"] = payload["result"].get("verdict", "?")
         rows.append(row)

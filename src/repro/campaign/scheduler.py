@@ -31,6 +31,7 @@ from pathlib import Path
 from typing import Any, Callable
 
 from repro import obs
+from repro.obs import resources
 from repro.analysis.records import rows_to_json
 from repro.analysis.sweep import SweepPoint
 from repro.campaign.plan import CampaignPlan, WorkUnit
@@ -65,6 +66,10 @@ class CampaignReport:
     computed: list[str] = field(default_factory=list)
     elapsed: float = 0.0
     unit_elapsed: dict[str, float] = field(default_factory=dict)
+    #: unit key -> the executing process's resource usage for that unit
+    #: ({"cpu_s", "peak_rss_kb", ...} — see repro.obs.resources); for
+    #: fetched units, whatever the original computation recorded.
+    unit_resources: dict[str, dict[str, float]] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
@@ -81,12 +86,16 @@ class CampaignReport:
 def execute_unit(payload: dict[str, Any]) -> dict[str, Any]:
     """Run one work unit (in a worker process or in-process).
 
-    Returns ``{"result": <JSON-safe dict>, "elapsed": seconds}``.  The
-    result section is the unit's *deterministic* output — an
+    Returns ``{"result": <JSON-safe dict>, "elapsed": seconds,
+    "resources": {"cpu_s", "peak_rss_kb", ...}}``.  The result section
+    is the unit's *deterministic* output — an
     :class:`~repro.analysis.records.ExperimentResult` in its ``to_json``
     form, or a sweep point's merged row — already passed through the
     records JSON codec so it is identical whether it is read back from
-    the store or handed over freshly computed.
+    the store or handed over freshly computed.  ``resources`` is the
+    executing process's usage across the unit (sampled unconditionally —
+    it feeds ``status --json`` and the manifest even in untraced runs)
+    and, like ``elapsed``, never touches the content address.
     """
     kind = payload["kind"]
     # Telemetry identity travels outside the spec (it must never touch
@@ -96,6 +105,7 @@ def execute_unit(payload: dict[str, Any]) -> dict[str, Any]:
     label = ident.get("label") or payload.get("experiment") \
         or payload.get("sweep") or kind
     start = time.perf_counter()
+    res0 = resources.read()
     with obs.span("campaign.unit.run", label=label, kind=kind,
                   key=ident.get("key", "")[:12]):
         obs.event("campaign.unit", status="running", label=label,
@@ -114,7 +124,8 @@ def execute_unit(payload: dict[str, Any]) -> dict[str, Any]:
             section = {"row": json.loads(rows_to_json([row]))[0]}
         else:
             raise ValueError(f"unknown work-unit kind: {kind!r}")
-    return {"result": section, "elapsed": time.perf_counter() - start}
+    return {"result": section, "elapsed": time.perf_counter() - start,
+            "resources": resources.delta(res0)}
 
 
 def _git_rev() -> str:
@@ -133,9 +144,10 @@ def write_manifest(store: ResultStore, report: CampaignReport) -> Path:
     """Record the provenance of the latest campaign run in the store.
 
     Besides the plan keys and git revision, the manifest records the
-    machine fingerprint and — when the run was traced — the path of
-    the telemetry trace, so a results directory carries everything
-    needed to interpret its own timings.
+    machine fingerprint, per-unit wall time and resource usage (CPU
+    seconds / peak RSS of the executing process), and — when the run
+    was traced — the path of the telemetry trace, so a results
+    directory carries everything needed to interpret its own timings.
     """
     from repro.obs.events import machine_fingerprint
 
@@ -154,7 +166,10 @@ def write_manifest(store: ResultStore, report: CampaignReport) -> Path:
             "computed": len(report.computed),
         },
         "plan": [{"label": unit.label, "key": unit.key,
-                  "spec": dict(unit.spec)} for unit in report.plan],
+                  "spec": dict(unit.spec),
+                  "elapsed": report.unit_elapsed.get(unit.key),
+                  "resources": report.unit_resources.get(unit.key)}
+                 for unit in report.plan],
     }
     path = store.root / "manifest.json"
     # Atomic like the store's objects: a kill mid-write must not leave a
@@ -223,9 +238,11 @@ def run_campaign(
             obs.counter("campaign.cache.hit")
             obs.event("campaign.unit", status="cached", label=unit.label,
                       key=unit.key)
-            elapsed = payload.get("meta", {}).get("elapsed")
-            if elapsed is not None:
-                report.unit_elapsed[unit.key] = elapsed
+            meta = payload.get("meta", {})
+            if meta.get("elapsed") is not None:
+                report.unit_elapsed[unit.key] = meta["elapsed"]
+            if meta.get("resources"):
+                report.unit_resources[unit.key] = dict(meta["resources"])
             done += 1
             if progress is not None:
                 progress(done, len(plan), unit, True)
@@ -233,12 +250,15 @@ def run_campaign(
         def checkpoint(index: int, outcome: dict[str, Any]) -> None:
             nonlocal done
             unit = pending[index]
+            unit_res = outcome.get("resources")
             if store is not None:
                 store.put(unit.spec, outcome["result"], label=unit.label,
-                          elapsed=outcome["elapsed"])
+                          elapsed=outcome["elapsed"], resources=unit_res)
             report.results[unit.key] = outcome["result"]
             report.computed.append(unit.key)
             report.unit_elapsed[unit.key] = outcome["elapsed"]
+            if unit_res:
+                report.unit_resources[unit.key] = dict(unit_res)
             obs.counter("campaign.cache.miss")
             obs.event("campaign.unit", status="checkpointed",
                       label=unit.label, key=unit.key)

@@ -117,13 +117,16 @@ class ResultStore:
     # -- writes -------------------------------------------------------------
 
     def put(self, spec: Mapping[str, Any], result: Mapping[str, Any], *,
-            label: str = "", elapsed: float | None = None) -> str:
+            label: str = "", elapsed: float | None = None,
+            resources: Mapping[str, float] | None = None) -> str:
         """Store a completed unit; returns its key.
 
         *result* is the deterministic payload (it must round-trip through
         JSON); provenance that legitimately differs between reruns —
-        wall-clock, timestamps — goes into the ``meta`` section so two
-        stores of the same work are byte-comparable on ``spec``/``result``.
+        wall-clock, timestamps, *resources* (the executing process's
+        CPU seconds / peak RSS, see :mod:`repro.obs.resources`) — goes
+        into the ``meta`` section so two stores of the same work are
+        byte-comparable on ``spec``/``result``.
         """
         key = unit_key(spec)
         with obs.span("store.put", key=key[:12], label=label):
@@ -131,7 +134,9 @@ class ResultStore:
                 "key": key,
                 "spec": _canonical_value(spec),
                 "result": _canonical_value(result),
-                "meta": {"created_at": time.time(), "elapsed": elapsed},
+                "meta": {"created_at": time.time(), "elapsed": elapsed,
+                         "resources": None if resources is None
+                         else dict(resources)},
             }
             path = self.object_path(key)
             path.parent.mkdir(exist_ok=True)

@@ -21,17 +21,32 @@ Quick tour::
 Instrumented layers: the engine (plan / fan-out / per-chunk spans with
 backend and kernel attribution), the campaign scheduler and store
 (unit lifecycle events, cache-hit counters, store read/write spans),
-and the protocol runner (per-run transmit timing).  See the DESIGN.md
-observability section for the event schema and the overhead policy.
+and the protocol runner (per-run transmit timing).  Spans carry a
+``res`` resource payload (CPU seconds, peak-RSS high-watermark —
+see :mod:`repro.obs.resources`); :mod:`repro.obs.profile` reconstructs
+the span tree with self-vs-child attribution and
+:mod:`repro.obs.diff` ranks what moved between two traces.  See the
+DESIGN.md observability section for the event schema and the overhead
+policy.
 """
 
+from repro.obs import resources
+from repro.obs.diff import diff_paths, diff_traces, render_diff
 from repro.obs.events import (
+    RESOURCE_FIELDS,
     SCHEMA_NAME,
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     build_manifest,
     read_trace,
     schema_fingerprint,
     validate_event,
+)
+from repro.obs.profile import (
+    aggregate_paths,
+    build_span_tree,
+    profile_trace,
+    render_profile,
 )
 from repro.obs.report import render_summary, summarize
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink, TeeSink
@@ -49,10 +64,13 @@ from repro.obs.trace import (
 )
 
 __all__ = [
-    "SCHEMA_NAME", "SCHEMA_VERSION",
+    "SCHEMA_NAME", "SCHEMA_VERSION", "SUPPORTED_VERSIONS", "RESOURCE_FIELDS",
     "span", "event", "counter", "gauge", "histogram",
     "configure", "enabled", "current_sink", "current_span_id", "trace_path",
     "Sink", "NullSink", "MemorySink", "JsonlSink", "TeeSink",
     "build_manifest", "read_trace", "schema_fingerprint", "validate_event",
     "summarize", "render_summary",
+    "resources",
+    "build_span_tree", "aggregate_paths", "profile_trace", "render_profile",
+    "diff_paths", "diff_traces", "render_diff",
 ]

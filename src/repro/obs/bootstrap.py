@@ -12,6 +12,10 @@ flags; they are declared once here so the parsers cannot drift:
     times, counters, cache stats) to stderr after the run.  With
     worker processes the in-memory view only sees the parent's events;
     use ``--trace`` for a cross-process record.
+``--trace-malloc``
+    Additionally sample Python-heap allocation (tracemalloc) into
+    every span's resource payload.  Genuinely slows allocation-heavy
+    code — strictly opt-in, for memory attribution sessions.
 
 :func:`obs_session` is the matching context manager: it installs the
 configured sink for the duration of the run, restores the previous
@@ -26,6 +30,7 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator, TextIO
 
+from repro.obs import resources
 from repro.obs.sinks import JsonlSink, MemorySink, Sink, TeeSink
 from repro.obs.trace import configure
 
@@ -33,18 +38,25 @@ __all__ = ["add_obs_arguments", "obs_session", "session_from_args"]
 
 
 def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
-    """Attach ``--trace`` / ``--metrics`` to *parser*."""
+    """Attach ``--trace`` / ``--metrics`` / ``--trace-malloc``."""
     parser.add_argument("--trace", type=Path, default=None, metavar="PATH",
                         help="write a JSONL telemetry trace of the run "
-                             "(render it with 'python -m repro.obs report')")
+                             "(render it with 'python -m repro.obs report', "
+                             "'... profile', or diff two runs with "
+                             "'... diff')")
     parser.add_argument("--metrics", action="store_true",
                         help="print an aggregated telemetry summary "
                              "(span times, counters, cache stats) to "
                              "stderr after the run")
+    parser.add_argument("--trace-malloc", action="store_true",
+                        help="also sample Python-heap allocation "
+                             "(tracemalloc) into span resource payloads "
+                             "— slows allocation-heavy code")
 
 
 @contextmanager
 def obs_session(*, trace: Path | None = None, metrics: bool = False,
+                trace_malloc: bool = False,
                 argv: list[str] | None = None,
                 stream: TextIO | None = None) -> Iterator[Sink | None]:
     """Install the sinks *trace*/*metrics* ask for, for one run."""
@@ -60,9 +72,13 @@ def obs_session(*, trace: Path | None = None, metrics: bool = False,
         return
     sink = sinks[0] if len(sinks) == 1 else TeeSink(*sinks)
     previous = configure(sink)
+    previous_mode = resources.set_mode("tracemalloc") if trace_malloc \
+        else None
     try:
         yield sink
     finally:
+        if previous_mode is not None:
+            resources.set_mode(previous_mode)
         configure(previous)
         sink.close()
         if memory is not None:
@@ -76,4 +92,6 @@ def session_from_args(args: argparse.Namespace, *,
     """The :func:`obs_session` an argparse namespace asks for."""
     return obs_session(trace=getattr(args, "trace", None),
                        metrics=bool(getattr(args, "metrics", False)),
+                       trace_malloc=bool(getattr(args, "trace_malloc",
+                                                 False)),
                        stream=stream)

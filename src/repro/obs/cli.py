@@ -1,16 +1,24 @@
-"""``python -m repro.obs`` — render and validate telemetry traces.
+"""``python -m repro.obs`` — render, profile, diff, and validate traces.
 
 Usage::
 
     python -m repro.obs report trace.jsonl            # full breakdown
     python -m repro.obs report trace.jsonl --top 20
     python -m repro.obs summary trace.jsonl           # one-paragraph view
+    python -m repro.obs profile trace.jsonl           # span tree, self time
+    python -m repro.obs profile trace.jsonl --depth 3
+    python -m repro.obs diff old.jsonl new.jsonl      # what moved, ranked
     python -m repro.obs validate trace.jsonl          # schema gate (CI)
 
 ``report`` renders the per-phase time breakdown, the top-k slowest
-spans, counters/histograms, and campaign cache-hit stats; ``summary``
-prints just the headline numbers; ``validate`` exits non-zero on the
-first schema violation (what the CI obs-smoke step gates on).
+spans, counters/gauge rollups/histograms, and campaign cache-hit
+stats; ``summary`` prints just the headline numbers; ``profile``
+reconstructs the span tree and prints per-path total/self wall time,
+CPU, and peak RSS as an ASCII flame view; ``diff`` compares two traces
+keyed by span path and ranks the movements by self-time contribution,
+so a regression names the kernel that moved; ``validate`` exits
+non-zero on the first schema violation (what the CI obs-smoke step
+gates on) and reports spans a killed run left unclosed.
 """
 
 from __future__ import annotations
@@ -28,7 +36,8 @@ __all__ = ["main", "build_parser"]
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-obs",
-        description="Render and validate repro.obs JSONL telemetry traces.")
+        description=("Render, profile, diff, and validate repro.obs "
+                     "JSONL telemetry traces."))
     sub = parser.add_subparsers(dest="command", required=True)
 
     report = sub.add_parser("report",
@@ -39,6 +48,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     summary = sub.add_parser("summary", help="headline numbers only")
     summary.add_argument("trace", type=Path)
+
+    profile = sub.add_parser(
+        "profile", help="span-tree self/total time, CPU, and peak RSS")
+    profile.add_argument("trace", type=Path, help="JSONL trace file")
+    profile.add_argument("--depth", type=int, default=None,
+                         help="only show span paths up to this depth")
+
+    diff = sub.add_parser(
+        "diff", help="rank the span paths that moved between two traces")
+    diff.add_argument("trace_a", type=Path,
+                      help="the reference (before / baseline) trace")
+    diff.add_argument("trace_b", type=Path,
+                      help="the current (after / suspect) trace")
+    diff.add_argument("--top", type=int, default=15,
+                      help="how many paths to list")
 
     validate = sub.add_parser("validate",
                               help="schema-check a trace (exit 1 on the "
@@ -60,9 +84,28 @@ def _cmd_summary(args: argparse.Namespace) -> int:
     cache = s["cache"]
     line = (f"{s['spans']} spans, {len(s['pids'])} process(es), "
             f"{s['wall_s']:.3f}s wall")
+    if s["unclosed"]:
+        line += f", {len(s['unclosed'])} unclosed"
     if cache["rate"] is not None:
         line += f", cache hit rate {cache['rate']:.0%}"
     print(line)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.profile import profile_trace, render_profile
+
+    _, stats = profile_trace(args.trace)
+    print(render_profile(stats, max_depth=args.depth))
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.obs.diff import diff_traces, render_diff
+
+    diff = diff_traces(args.trace_a, args.trace_b)
+    print(f"A: {args.trace_a}\nB: {args.trace_b}")
+    print(render_diff(diff, top=args.top))
     return 0
 
 
@@ -75,6 +118,13 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     if manifest is None:
         print(f"INVALID: {args.trace}: no manifest line", file=sys.stderr)
         return 1
+    unclosed = summarize(events)["unclosed"]
+    if unclosed:
+        # Schema-valid but truncated: every event parses, yet these
+        # spans never closed — almost certainly a killed run.
+        names = ", ".join(sorted({u["name"] for u in unclosed}))
+        print(f"warning: {len(unclosed)} unclosed span(s) ({names}) — "
+              f"run killed or trace truncated", file=sys.stderr)
     print(f"ok: {args.trace} is a valid {manifest['schema']} "
           f"v{manifest['schema_version']} trace ({len(events)} events)")
     return 0
@@ -84,6 +134,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     command = {"report": _cmd_report, "summary": _cmd_summary,
+               "profile": _cmd_profile, "diff": _cmd_diff,
                "validate": _cmd_validate}
     return command[args.command](args)
 

@@ -1,0 +1,146 @@
+"""Trace diffing: which span path explains the difference between runs.
+
+Given two traces of comparable work (two bench runs of the same case,
+a campaign before and after a kernel change), :func:`diff_traces`
+aggregates both into the per-span-path statistics of
+:mod:`repro.obs.profile` and reports per-path wall / CPU / peak-RSS
+deltas, ranked by **self-time contribution** — the ancestors of a slow
+kernel inherit its regression in their totals, so ranking by total
+would blame the entire call chain; ranking by how much *self* time
+moved names the one frame that actually changed.
+
+``python -m repro.obs diff A B`` renders the ranking; the bench
+harness calls the same functions when a ``repro.bench compare`` gate
+trips with traces on both sides, so a failed perf gate prints the span
+paths that moved instead of a bare ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.obs.profile import PathStats, profile_trace
+
+__all__ = ["PathDelta", "TraceDiff", "diff_paths", "diff_traces",
+           "render_diff"]
+
+
+@dataclass(frozen=True)
+class PathDelta:
+    """One span path's movement between trace A and trace B."""
+
+    path: tuple[str, ...]
+    a: PathStats | None
+    b: PathStats | None
+
+    @property
+    def key(self) -> str:
+        return "/".join(self.path)
+
+    @property
+    def status(self) -> str:
+        if self.a is None:
+            return "added"
+        if self.b is None:
+            return "removed"
+        return "common"
+
+    @property
+    def self_delta_s(self) -> float:
+        """Self-time movement (B − A): the ranking criterion."""
+        return ((self.b.self_s if self.b else 0.0)
+                - (self.a.self_s if self.a else 0.0))
+
+    @property
+    def total_delta_s(self) -> float:
+        return ((self.b.total_s if self.b else 0.0)
+                - (self.a.total_s if self.a else 0.0))
+
+    @property
+    def cpu_delta_s(self) -> float:
+        return ((self.b.self_cpu_s if self.b else 0.0)
+                - (self.a.self_cpu_s if self.a else 0.0))
+
+    @property
+    def rss_delta_kb(self) -> float | None:
+        a_rss = self.a.peak_rss_kb if self.a else None
+        b_rss = self.b.peak_rss_kb if self.b else None
+        if a_rss is None or b_rss is None:
+            return None
+        return b_rss - a_rss
+
+    @property
+    def ratio(self) -> float | None:
+        """total_B / total_A where both sides ran."""
+        if self.a is None or self.b is None or self.a.total_s <= 0:
+            return None
+        return self.b.total_s / self.a.total_s
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """All path deltas of one A-vs-B comparison, ranked."""
+
+    deltas: tuple[PathDelta, ...]
+
+    @property
+    def ranked(self) -> tuple[PathDelta, ...]:
+        """Deltas by absolute self-time movement, largest first."""
+        return tuple(sorted(self.deltas,
+                            key=lambda d: -abs(d.self_delta_s)))
+
+    @property
+    def total_delta_s(self) -> float:
+        """Net wall movement: the sum of every path's self-time delta
+        (equivalently, the root totals' delta — children's time is
+        someone's self time exactly once)."""
+        return sum(d.self_delta_s for d in self.deltas)
+
+    def top(self, count: int = 5) -> tuple[PathDelta, ...]:
+        return self.ranked[:count]
+
+
+def diff_paths(a: Mapping[tuple[str, ...], PathStats],
+               b: Mapping[tuple[str, ...], PathStats]) -> TraceDiff:
+    """Diff two per-path aggregations (B is the current / suspect run)."""
+    paths = list(a)
+    paths.extend(p for p in b if p not in a)
+    return TraceDiff(deltas=tuple(
+        PathDelta(path=p, a=a.get(p), b=b.get(p)) for p in paths))
+
+
+def diff_traces(path_a, path_b) -> TraceDiff:
+    """Diff two JSONL trace files (B is the current / suspect run)."""
+    _, stats_a = profile_trace(path_a)
+    _, stats_b = profile_trace(path_b)
+    return diff_paths(stats_a, stats_b)
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1e3:+,.1f}"
+
+
+def render_diff(diff: TraceDiff, *, top: int = 15) -> str:
+    """Ranked ASCII table of the largest per-path movements."""
+    from repro.analysis.tables import render_table
+
+    ranked = diff.top(top)
+    if not ranked:
+        return "no span paths on either side"
+    rows = []
+    for d in ranked:
+        rss = d.rss_delta_kb
+        rows.append({
+            "span path": d.key,
+            "self_ms": _ms(d.self_delta_s),
+            "total_ms": _ms(d.total_delta_s),
+            "cpu_ms": _ms(d.cpu_delta_s),
+            "rss_mb": "" if rss is None else f"{rss / 1024:+,.0f}",
+            "ratio": "" if d.ratio is None else f"{d.ratio:.2f}x",
+            "status": d.status,
+        })
+    head = (f"net wall movement {_ms(diff.total_delta_s)}ms over "
+            f"{len(diff.deltas)} span path(s); top {len(ranked)} by "
+            f"|self-time delta|:")
+    return head + "\n" + render_table(rows)

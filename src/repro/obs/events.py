@@ -2,18 +2,26 @@
 
 A trace is a JSONL file: one event object per line.  The first line is
 normally a ``manifest`` event carrying the run's provenance (git SHA,
-machine fingerprint, argv); every further line is a ``span`` (a timed
-region with a process-safe id and a parent link), a ``metric``
+machine fingerprint, argv); every further line is a ``span_start`` (a
+timed region opening — what survives when a run is killed before the
+region closes), a ``span`` (the region's close, carrying duration,
+status, and an optional ``res`` resource payload), a ``metric``
 (counter / gauge / histogram observation), or a point ``event`` (a
 state transition such as a campaign unit moving from ``planned`` to
 ``checkpointed``).
 
+Schema v2 added the ``span_start`` kind and the optional span ``res``
+field (:data:`RESOURCE_FIELDS`: rusage CPU seconds, peak-RSS
+high-watermark, tracemalloc counters — see :mod:`repro.obs.resources`).
+
 The layout follows the ``repro.bench`` artifact discipline: it is
 frozen by :func:`schema_fingerprint` (pinned in ``tests/obs``), so
 adding, renaming, or dropping a field must bump :data:`SCHEMA_VERSION`
-and historical traces stay parseable on their recorded version.
-Unknown *extra* fields are tolerated on read (forward compatibility
-within a version); missing *required* fields are not.
+and historical traces stay parseable on their recorded version —
+:data:`SUPPORTED_VERSIONS` lists what this build reads (v1 traces
+simply carry no start events or resource payloads).  Unknown *extra*
+fields are tolerated on read (forward compatibility within a version);
+missing *required* fields are not.
 """
 
 from __future__ import annotations
@@ -30,13 +38,18 @@ from typing import Any, Iterable, Mapping
 from repro.util.validation import require
 
 __all__ = [
-    "SCHEMA_NAME", "SCHEMA_VERSION", "EVENT_KINDS", "METRIC_TYPES",
-    "SPAN_STATUSES", "build_manifest", "machine_fingerprint", "git_sha",
-    "schema_fingerprint", "validate_event", "read_trace",
+    "SCHEMA_NAME", "SCHEMA_VERSION", "SUPPORTED_VERSIONS", "EVENT_KINDS",
+    "METRIC_TYPES", "SPAN_STATUSES", "RESOURCE_FIELDS", "build_manifest",
+    "machine_fingerprint", "git_sha", "schema_fingerprint",
+    "validate_event", "read_trace",
 ]
 
 SCHEMA_NAME = "repro.obs/trace"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions this build can read.  v1 (PR 6) lacks ``span_start``
+#: events and span resource payloads but is otherwise identical.
+SUPPORTED_VERSIONS = (1, 2)
 
 #: Required fields per event kind.  ``attrs`` is a free-form mapping on
 #: every kind — workload-specific labels live there, never as new top
@@ -44,6 +57,8 @@ SCHEMA_VERSION = 1
 EVENT_KINDS: dict[str, tuple[str, ...]] = {
     "manifest": ("kind", "schema", "schema_version", "created_at",
                  "git_sha", "machine", "argv", "pid"),
+    "span_start": ("kind", "name", "span_id", "parent_id", "pid", "ts",
+                   "attrs"),
     "span": ("kind", "name", "span_id", "parent_id", "pid", "ts",
              "dur_s", "status", "attrs"),
     "metric": ("kind", "name", "metric", "value", "pid", "ts", "attrs"),
@@ -52,6 +67,11 @@ EVENT_KINDS: dict[str, tuple[str, ...]] = {
 
 METRIC_TYPES = ("counter", "gauge", "histogram")
 SPAN_STATUSES = ("ok", "error")
+
+#: Keys allowed in a span's optional ``res`` resource payload (see
+#: :mod:`repro.obs.resources`).  Part of the frozen layout: a new
+#: resource field is a schema change, not a silent addition.
+RESOURCE_FIELDS = ("cpu_s", "peak_rss_kb", "py_alloc_kb", "py_peak_kb")
 
 
 def machine_fingerprint() -> dict[str, Any]:
@@ -116,6 +136,7 @@ def schema_fingerprint() -> str:
                   for kind, fields in EVENT_KINDS.items()},
         "metric_types": sorted(METRIC_TYPES),
         "span_statuses": sorted(SPAN_STATUSES),
+        "resource_fields": sorted(RESOURCE_FIELDS),
         "machine_fields": sorted(machine_fingerprint()),
     }
     canonical = json.dumps(layout, sort_keys=True, separators=(",", ":"))
@@ -142,10 +163,10 @@ def validate_event(event: Any) -> None:
     if kind == "manifest":
         require(event["schema"] == SCHEMA_NAME,
                 f"not a trace manifest (schema {event['schema']!r})")
-        require(event["schema_version"] == SCHEMA_VERSION,
+        require(event["schema_version"] in SUPPORTED_VERSIONS,
                 f"unsupported trace schema version "
                 f"{event['schema_version']} (this build reads "
-                f"v{SCHEMA_VERSION})")
+                f"v{', v'.join(map(str, SUPPORTED_VERSIONS))})")
         require(isinstance(event["machine"], Mapping),
                 "manifest machine fingerprint must be an object")
         return
@@ -154,16 +175,27 @@ def validate_event(event: Any) -> None:
     require(isinstance(event["attrs"], Mapping),
             f"trace event attrs must be an object: {event!r}")
     _require_number(event, "ts")
-    if kind == "span":
-        _require_number(event, "dur_s")
-        require(event["dur_s"] >= 0, "span duration must be >= 0")
-        require(event["status"] in SPAN_STATUSES,
-                f"span status must be one of {SPAN_STATUSES}")
+    if kind in ("span", "span_start"):
         require(isinstance(event["span_id"], str) and event["span_id"],
                 "span_id must be a non-empty string")
         require(event["parent_id"] is None
                 or isinstance(event["parent_id"], str),
                 "parent_id must be null or a string")
+    if kind == "span":
+        _require_number(event, "dur_s")
+        require(event["dur_s"] >= 0, "span duration must be >= 0")
+        require(event["status"] in SPAN_STATUSES,
+                f"span status must be one of {SPAN_STATUSES}")
+        res = event.get("res")
+        if res is not None:
+            require(isinstance(res, Mapping),
+                    f"span res must be an object: {event!r}")
+            unknown = [k for k in res if k not in RESOURCE_FIELDS]
+            require(not unknown,
+                    f"span res has unknown resource fields {unknown} "
+                    f"(known: {', '.join(RESOURCE_FIELDS)})")
+            for field in res:
+                _require_number(res, field)
     elif kind == "metric":
         require(event["metric"] in METRIC_TYPES,
                 f"metric type must be one of {METRIC_TYPES}")

@@ -1,0 +1,226 @@
+"""Span-tree profiling: where a traced run actually spent its time.
+
+:func:`build_span_tree` reconstructs the span forest of a JSONL trace
+from its ``span`` (and, for crash-truncated runs, ``span_start``)
+events — across processes: forked engine workers inherit the tracing
+context, so their chunk spans parent to the dispatching span in
+another pid and stitch into one tree here.  :func:`aggregate_paths`
+reduces the forest to per-**span-path** statistics (a path is the
+``/``-joined chain of span names from the root, e.g.
+``campaign.run/engine.plan/engine.chunk``), splitting **total** wall
+time from **self** time (total minus the children's total — the part
+this span's own code is responsible for) and summing the attached
+resource payloads (CPU seconds, peak-RSS high-watermark).
+:func:`render_profile` is the ASCII flame/tree view behind
+``python -m repro.obs profile TRACE``.
+
+Self-time is the attribution currency: a parent whose children explain
+all of its wall clock has nothing to answer for, however long it ran.
+The same per-path statistics feed :mod:`repro.obs.diff`, which ranks
+two traces' paths by how much self time moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.obs.events import read_trace
+
+__all__ = ["SpanNode", "PathStats", "build_span_tree", "aggregate_paths",
+           "profile_trace", "render_profile"]
+
+
+@dataclass
+class SpanNode:
+    """One reconstructed span: identity, timing, resources, children.
+
+    ``closed`` is ``False`` for spans known only from a ``span_start``
+    event — the run died (or the trace was truncated) before the
+    closing record landed.  Their ``dur_s`` is 0 and they are counted
+    separately so a crash cannot masquerade as a fast run.
+    """
+
+    name: str
+    span_id: str
+    parent_id: str | None
+    pid: int
+    ts: float
+    dur_s: float = 0.0
+    status: str = "ok"
+    attrs: dict[str, Any] = field(default_factory=dict)
+    res: dict[str, float] = field(default_factory=dict)
+    closed: bool = True
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def cpu_s(self) -> float | None:
+        return self.res.get("cpu_s")
+
+    @property
+    def peak_rss_kb(self) -> float | None:
+        return self.res.get("peak_rss_kb")
+
+
+@dataclass
+class PathStats:
+    """Aggregated statistics of every span sharing one tree path."""
+
+    path: tuple[str, ...]
+    count: int = 0
+    total_s: float = 0.0
+    self_s: float = 0.0
+    cpu_s: float = 0.0
+    self_cpu_s: float = 0.0
+    peak_rss_kb: float | None = None
+    errors: int = 0
+    unclosed: int = 0
+
+    @property
+    def key(self) -> str:
+        return "/".join(self.path)
+
+    @property
+    def depth(self) -> int:
+        return len(self.path) - 1
+
+
+def build_span_tree(events: Iterable[Mapping[str, Any]]) -> list[SpanNode]:
+    """Reconstruct the span forest from an event stream.
+
+    Two-pass on purpose: JSONL order is *exit* order (children close
+    before parents) and worker spans may precede the parent pid's
+    records entirely, so every span is indexed by id before any edge
+    is drawn.  Spans whose ``span_start`` has no closing ``span``
+    event become unclosed nodes; spans whose parent id never appears
+    in the trace (e.g. the parent's close *and* start both lost)
+    become extra roots rather than being dropped.
+    """
+    nodes: dict[str, SpanNode] = {}
+    order: list[str] = []  # first-seen order, for stable tie-breaks
+    for ev in events:
+        kind = ev.get("kind")
+        if kind == "span_start":
+            if ev["span_id"] not in nodes:
+                nodes[ev["span_id"]] = SpanNode(
+                    name=ev["name"], span_id=ev["span_id"],
+                    parent_id=ev["parent_id"], pid=ev.get("pid", 0),
+                    ts=ev["ts"], attrs=dict(ev.get("attrs", {})),
+                    closed=False)
+                order.append(ev["span_id"])
+        elif kind == "span":
+            node = nodes.get(ev["span_id"])
+            if node is None:
+                node = SpanNode(
+                    name=ev["name"], span_id=ev["span_id"],
+                    parent_id=ev["parent_id"], pid=ev.get("pid", 0),
+                    ts=ev["ts"])
+                nodes[ev["span_id"]] = node
+                order.append(ev["span_id"])
+            node.dur_s = ev["dur_s"]
+            node.status = ev.get("status", "ok")
+            node.attrs = dict(ev.get("attrs", {}))
+            node.res = dict(ev.get("res") or {})
+            node.closed = True
+
+    roots: list[SpanNode] = []
+    for span_id in order:
+        node = nodes[span_id]
+        parent = nodes.get(node.parent_id) if node.parent_id else None
+        if parent is not None:
+            parent.children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda child: child.ts)
+    roots.sort(key=lambda root: root.ts)
+    return roots
+
+
+def _merge_rss(current: float | None, new: float | None) -> float | None:
+    if new is None:
+        return current
+    return new if current is None else max(current, new)
+
+
+def aggregate_paths(roots: list[SpanNode]) -> dict[tuple[str, ...], PathStats]:
+    """Per-path statistics over the whole forest, in first-visit order."""
+    stats: dict[tuple[str, ...], PathStats] = {}
+
+    def visit(node: SpanNode, prefix: tuple[str, ...]) -> None:
+        path = prefix + (node.name,)
+        entry = stats.setdefault(path, PathStats(path=path))
+        entry.count += 1
+        child_total = sum(c.dur_s for c in node.children)
+        child_cpu = sum(c.cpu_s or 0.0 for c in node.children)
+        entry.total_s += node.dur_s
+        entry.self_s += max(0.0, node.dur_s - child_total)
+        if node.cpu_s is not None:
+            entry.cpu_s += node.cpu_s
+            entry.self_cpu_s += max(0.0, node.cpu_s - child_cpu)
+        entry.peak_rss_kb = _merge_rss(entry.peak_rss_kb, node.peak_rss_kb)
+        if node.status == "error":
+            entry.errors += 1
+        if not node.closed:
+            entry.unclosed += 1
+        for child in node.children:
+            visit(child, path)
+
+    for root in roots:
+        visit(root, ())
+    return stats
+
+
+def profile_trace(path) -> tuple[list[SpanNode],
+                                 dict[tuple[str, ...], PathStats]]:
+    """Read a JSONL trace and return its span forest + path statistics."""
+    _, events = read_trace(path)
+    roots = build_span_tree(events)
+    return roots, aggregate_paths(roots)
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:,.1f}"
+
+
+def _fmt_rss(kb: float | None) -> str:
+    return "" if kb is None else f"{kb / 1024:,.0f}MB"
+
+
+def render_profile(stats: Mapping[tuple[str, ...], PathStats], *,
+                   max_depth: int | None = None,
+                   bar_width: int = 20) -> str:
+    """ASCII tree of per-path wall/self/CPU time and peak RSS.
+
+    Paths print in tree order (first visit), indented by depth, with a
+    ``#`` bar scaling each path's **self** time against the forest's
+    total self time — the flame-graph reading: long bars are where the
+    time actually went, not merely where it accumulated.
+    """
+    entries = [s for s in stats.values()
+               if max_depth is None or s.depth <= max_depth]
+    if not entries:
+        return "empty trace: no spans"
+    total_self = sum(s.self_s for s in entries) or 1.0
+    name_width = max(2 * s.depth + len(s.path[-1]) for s in entries)
+    name_width = max(name_width, len("span path"))
+    header = (f"{'span path':<{name_width}}  {'count':>5}  "
+              f"{'total_ms':>10}  {'self_ms':>10}  {'self%':>5}  "
+              f"{'cpu_ms':>10}  {'rss':>8}  flame")
+    lines = [header]
+    for s in entries:
+        share = s.self_s / total_self
+        bar = "#" * max(1 if s.self_s > 0 else 0,
+                        round(share * bar_width))
+        label = "  " * s.depth + s.path[-1]
+        flags = ""
+        if s.unclosed:
+            flags += f"  !{s.unclosed} unclosed"
+        if s.errors:
+            flags += f"  !{s.errors} error(s)"
+        lines.append(
+            f"{label:<{name_width}}  {s.count:>5}  "
+            f"{_fmt_ms(s.total_s):>10}  {_fmt_ms(s.self_s):>10}  "
+            f"{share:>5.0%}  {_fmt_ms(s.cpu_s):>10}  "
+            f"{_fmt_rss(s.peak_rss_kb):>8}  {bar}{flags}")
+    return "\n".join(lines)

@@ -1,10 +1,14 @@
 """Turn a trace into numbers a human can act on.
 
 :func:`summarize` reduces an event stream to per-phase span
-statistics, aggregated counters / gauges / histograms, campaign
-cache-hit accounting, unit lifecycle tallies, and the top-k slowest
-spans.  :func:`render_summary` renders that as ASCII tables — what
-``python -m repro.obs report`` prints.
+statistics (with attached CPU / peak-RSS resource rollups), aggregated
+counters / gauge rollups (``first``/``last``/``min``/``max``/``count``
+— never last-write-wins) / histograms, campaign cache-hit accounting,
+unit lifecycle tallies, the top-k slowest spans, and the spans whose
+``span_start`` never saw its close — the signature of a killed run.
+:func:`render_summary` renders that as ASCII tables — what
+``python -m repro.obs report`` prints.  For tree-shaped attribution
+(self vs child time per span *path*) see :mod:`repro.obs.profile`.
 """
 
 from __future__ import annotations
@@ -28,25 +32,37 @@ def summarize(events: Iterable[Mapping[str, Any]], *,
     spans: list[Mapping[str, Any]] = []
     phases: dict[str, dict[str, Any]] = {}
     counters: dict[str, float] = {}
-    gauges: dict[str, float] = {}
+    gauges: dict[str, dict[str, float]] = {}
     histograms: dict[str, list[float]] = {}
     lifecycle: dict[str, dict[str, int]] = {}
+    started: dict[str, Mapping[str, Any]] = {}
+    closed_ids: set[str] = set()
     pids: set[int] = set()
     t_min, t_max = None, None
 
     for ev in events:
         kind = ev.get("kind")
         pids.add(ev.get("pid", 0))
-        if kind == "span":
+        if kind == "span_start":
+            started[ev["span_id"]] = ev
+        elif kind == "span":
             spans.append(ev)
+            closed_ids.add(ev["span_id"])
             phase = phases.setdefault(
                 ev["name"], {"count": 0, "total_s": 0.0, "max_s": 0.0,
-                             "errors": 0})
+                             "errors": 0, "cpu_s": None,
+                             "peak_rss_kb": None})
             phase["count"] += 1
             phase["total_s"] += ev["dur_s"]
             phase["max_s"] = max(phase["max_s"], ev["dur_s"])
             if ev.get("status") == "error":
                 phase["errors"] += 1
+            res = ev.get("res") or {}
+            if "cpu_s" in res:
+                phase["cpu_s"] = (phase["cpu_s"] or 0.0) + res["cpu_s"]
+            if "peak_rss_kb" in res:
+                phase["peak_rss_kb"] = max(phase["peak_rss_kb"] or 0.0,
+                                           res["peak_rss_kb"])
             start, stop = ev["ts"], ev["ts"] + ev["dur_s"]
             t_min = start if t_min is None else min(t_min, start)
             t_max = stop if t_max is None else max(t_max, stop)
@@ -55,7 +71,17 @@ def summarize(events: Iterable[Mapping[str, Any]], *,
             if ev["metric"] == "counter":
                 counters[name] = counters.get(name, 0.0) + value
             elif ev["metric"] == "gauge":
-                gauges[name] = value
+                # Full rollup, not last-write-wins: a gauge that sagged
+                # mid-run and recovered must not summarize as flat.
+                roll = gauges.get(name)
+                if roll is None:
+                    gauges[name] = {"first": value, "last": value,
+                                    "min": value, "max": value, "count": 1}
+                else:
+                    roll["last"] = value
+                    roll["min"] = min(roll["min"], value)
+                    roll["max"] = max(roll["max"], value)
+                    roll["count"] += 1
             else:
                 histograms.setdefault(name, []).append(value)
         elif kind == "event":
@@ -65,6 +91,14 @@ def summarize(events: Iterable[Mapping[str, Any]], *,
 
     for phase in phases.values():
         phase["mean_s"] = phase["total_s"] / phase["count"]
+
+    # Open records whose close never landed: the signature of a killed
+    # or truncated run.  Surfaced instead of silently dropped.
+    unclosed = [{"name": ev["name"], "span_id": span_id,
+                 "pid": ev.get("pid", 0), "ts": ev["ts"],
+                 "attrs": dict(ev.get("attrs", {}))}
+                for span_id, ev in started.items()
+                if span_id not in closed_ids]
 
     hist_stats = {}
     for name, values in histograms.items():
@@ -82,6 +116,7 @@ def summarize(events: Iterable[Mapping[str, Any]], *,
     slowest = sorted(spans, key=lambda s: s["dur_s"], reverse=True)[:top]
     return {
         "spans": len(spans),
+        "unclosed": unclosed,
         "pids": sorted(pids),
         "wall_s": 0.0 if t_min is None else t_max - t_min,
         "phases": phases,
@@ -132,6 +167,14 @@ def render_summary(manifest: Mapping[str, Any] | None,
                  f"({cache['rate']:.0%})")
     parts.append(head)
 
+    unclosed = summary.get("unclosed", [])
+    if unclosed:
+        rows = [{"unclosed span": u["name"], "span_id": u["span_id"],
+                 "pid": u["pid"]} for u in unclosed]
+        parts.append(f"{len(unclosed)} span(s) never closed — the run "
+                     "was killed or the trace truncated:\n"
+                     + render_table(rows))
+
     phases = summary["phases"]
     if phases:
         total = sum(p["total_s"] for p in phases.values()) or 1.0
@@ -139,6 +182,10 @@ def render_summary(manifest: Mapping[str, Any] | None,
                  "total_ms": _ms(p["total_s"]), "mean_ms": _ms(p["mean_s"]),
                  "max_ms": _ms(p["max_s"]),
                  "share": f"{p['total_s'] / total:.0%}",
+                 "cpu_ms": "" if p.get("cpu_s") is None
+                 else _ms(p["cpu_s"]),
+                 "rss_mb": "" if p.get("peak_rss_kb") is None
+                 else round(p["peak_rss_kb"] / 1024, 1),
                  "errors": p["errors"]}
                 for name, p in sorted(phases.items(),
                                       key=lambda kv: -kv[1]["total_s"])]
@@ -154,6 +201,13 @@ def render_summary(manifest: Mapping[str, Any] | None,
         rows = [{"counter": name, "total": value}
                 for name, value in sorted(summary["counters"].items())]
         parts.append("counters:\n" + render_table(rows))
+
+    if summary["gauges"]:
+        rows = [{"gauge": name,
+                 **{k: round(v, 6) if k != "count" else v
+                    for k, v in roll.items()}}
+                for name, roll in sorted(summary["gauges"].items())]
+        parts.append("gauges:\n" + render_table(rows))
 
     if summary["histograms"]:
         rows = [{"histogram": name, **{k: round(v, 6) if k != "count" else v

@@ -1,0 +1,155 @@
+"""Low-overhead resource sampling attached to spans.
+
+Wall-clock alone cannot attribute a regression: a span that doubled
+its ``dur_s`` because a kernel burned CPU looks identical to one that
+sat in a process-pool queue, and the real cap on dense per-trial state
+is peak RSS, which no clock sees.  This module reads the process
+resource counters — rusage CPU time (user+system), the ``ru_maxrss``
+high-watermark, and optionally tracemalloc's Python-heap counters —
+and the span layer (:mod:`repro.obs.trace`) attaches the readings to
+every span it emits, so ``engine.chunk`` and ``campaign.unit.run``
+spans carry ``cpu_s`` / ``peak_rss_kb`` alongside ``dur_s``.
+
+Cost discipline mirrors the tracing layer's: sampling only happens for
+*live* spans (the disabled no-op path never reaches this module), one
+``getrusage`` call costs on the order of a microsecond, and the
+default ``rusage`` mode never touches tracemalloc (which genuinely
+slows allocation-heavy code — it is strictly opt-in).
+
+Semantics worth knowing:
+
+``cpu_s``
+    CPU seconds (user + system) consumed by *this process* between
+    span enter and exit.  In a forked engine worker that is the
+    worker's own usage, so chunk spans attribute per-process.
+``peak_rss_kb``
+    The process's **high-watermark** resident set size at span exit,
+    in KiB.  A high-watermark never decreases, so nested spans report
+    the same peak once it has been reached — read it as "the peak was
+    at least this by the time this span closed", not as a per-span
+    delta.
+``py_alloc_kb`` / ``py_peak_kb``
+    tracemalloc's traced-allocation delta across the span and traced
+    peak, in KiB; present only in ``tracemalloc`` mode.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from contextlib import contextmanager
+from typing import Iterator, NamedTuple
+
+try:  # POSIX only; Windows falls back to process_time, no RSS.
+    import resource as _resource
+except ImportError:  # pragma: no cover - POSIX in practice
+    _resource = None
+
+__all__ = ["MODES", "ResourceReading", "read", "begin", "delta",
+           "mode", "set_mode", "sampling"]
+
+#: Sampling modes: ``off`` detaches the sampler entirely, ``rusage``
+#: (the default) reads CPU time + peak RSS per span, ``tracemalloc``
+#: additionally tracks Python-heap allocation (expensive; opt-in).
+MODES = ("off", "rusage", "tracemalloc")
+
+_mode: str = "rusage"
+#: Did set_mode() start tracemalloc (vs finding it already tracing)?
+_owns_tracemalloc: bool = False
+
+# ru_maxrss units differ across platforms: KiB on Linux, bytes on
+# macOS.  Normalise to KiB so traces compare across machines.
+_MAXRSS_DIVISOR = 1024 if sys.platform == "darwin" else 1
+
+
+class ResourceReading(NamedTuple):
+    """One point-in-time sample of the process resource counters."""
+
+    cpu_s: float
+    peak_rss_kb: float | None
+    py_current_b: int | None
+    py_peak_b: int | None
+
+
+def _cpu_and_rss() -> tuple[float, float | None]:
+    if _resource is not None:
+        usage = _resource.getrusage(_resource.RUSAGE_SELF)
+        return (usage.ru_utime + usage.ru_stime,
+                usage.ru_maxrss / _MAXRSS_DIVISOR)
+    return time.process_time(), None  # pragma: no cover - non-POSIX
+
+
+def read() -> ResourceReading:
+    """Sample the counters now, regardless of the sampling mode."""
+    cpu_s, peak_rss_kb = _cpu_and_rss()
+    py_current_b = py_peak_b = None
+    if _mode == "tracemalloc":
+        import tracemalloc
+        if tracemalloc.is_tracing():
+            py_current_b, py_peak_b = tracemalloc.get_traced_memory()
+    return ResourceReading(cpu_s, peak_rss_kb, py_current_b, py_peak_b)
+
+
+def begin() -> ResourceReading | None:
+    """Span-enter hook: a reading, or ``None`` when sampling is off."""
+    if _mode == "off":
+        return None
+    return read()
+
+
+def delta(start: ResourceReading) -> dict[str, float]:
+    """The span-exit resource payload (the span event's ``res`` field).
+
+    ``cpu_s`` is the delta since *start*; ``peak_rss_kb`` is the exit
+    high-watermark (see the module docstring); the tracemalloc pair is
+    included only when both endpoints saw an active tracer.
+    """
+    end = read()
+    res: dict[str, float] = {"cpu_s": max(0.0, end.cpu_s - start.cpu_s)}
+    if end.peak_rss_kb is not None:
+        res["peak_rss_kb"] = end.peak_rss_kb
+    if start.py_current_b is not None and end.py_current_b is not None:
+        res["py_alloc_kb"] = (end.py_current_b - start.py_current_b) / 1024
+        res["py_peak_kb"] = (end.py_peak_b or 0) / 1024
+    return res
+
+
+def mode() -> str:
+    """The active sampling mode."""
+    return _mode
+
+
+def set_mode(new_mode: str) -> str:
+    """Switch the sampling mode; returns the previous one.
+
+    Entering ``tracemalloc`` starts the tracer (unless something else
+    already did); leaving it stops the tracer again only if this
+    module started it.
+    """
+    global _mode, _owns_tracemalloc
+    if new_mode not in MODES:
+        raise ValueError(f"resource sampling mode must be one of {MODES}, "
+                         f"got {new_mode!r}")
+    previous = _mode
+    if new_mode == "tracemalloc" and previous != "tracemalloc":
+        import tracemalloc
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            _owns_tracemalloc = True
+    elif previous == "tracemalloc" and new_mode != "tracemalloc":
+        import tracemalloc
+        if _owns_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        _owns_tracemalloc = False
+    _mode = new_mode
+    return previous
+
+
+@contextmanager
+def sampling(new_mode: str = "rusage") -> Iterator[None]:
+    """Attach the sampler in *new_mode* for a block, then restore."""
+    previous = set_mode(new_mode)
+    try:
+        yield
+    finally:
+        set_mode(previous)

@@ -14,7 +14,11 @@ Overhead policy (the reason this module looks the way it does):
   (benchmarked by ``micro/obs_span_disabled`` and asserted against an
   engine run in ``tests/obs/test_overhead.py``).
 * With a live sink, a span costs two clock reads, one id, one
-  contextvar set/reset, and one ``sink.emit``.
+  contextvar set/reset, two ``sink.emit`` calls (the ``span_start``
+  open record — what survives a killed run — and the closing ``span``
+  record), and, unless :mod:`repro.obs.resources` sampling is off, a
+  ``getrusage`` read at each end so the closing record carries a
+  ``res`` payload (``cpu_s``, ``peak_rss_kb``, …).
 
 Span ids are process-safe: ``"<pid:x>.<counter>"``, so ids minted in
 forked ``fan_out_chunks`` workers never collide with the parent's.
@@ -38,6 +42,7 @@ from contextvars import ContextVar
 from itertools import count
 from pathlib import Path
 
+from repro.obs import resources
 from repro.obs.sinks import NullSink, Sink
 from repro.util.logging import get_logger
 
@@ -118,10 +123,11 @@ _NOOP_SPAN = _NoopSpan()
 
 
 class Span:
-    """One live timed region; emitted to the sink on exit."""
+    """One live timed region; opened to the sink on entry (so a killed
+    run leaves evidence), emitted in full on exit."""
 
     __slots__ = ("name", "attrs", "span_id", "parent_id", "ts",
-                 "_t0", "_token")
+                 "_t0", "_token", "_res0")
 
     def __init__(self, name: str, attrs: dict) -> None:
         self.name = name
@@ -132,6 +138,20 @@ class Span:
         self.parent_id = _current.get()
         self.span_id = _new_span_id()
         self._token = _current.set(self.span_id)
+        # The open record: crash forensics.  A trace from a killed run
+        # ends with span_start events whose closing span never landed;
+        # summarize/profile surface those as unclosed instead of
+        # silently dropping the region.
+        _sink.emit({
+            "kind": "span_start",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": os.getpid(),
+            "ts": self.ts,
+            "attrs": dict(self.attrs),
+        })
+        self._res0 = resources.begin()
         self._t0 = time.perf_counter()
         return self
 
@@ -144,7 +164,7 @@ class Span:
         dur = time.perf_counter() - self._t0
         _current.reset(self._token)
         status = "ok" if exc_type is None else "error"
-        _sink.emit({
+        event = {
             "kind": "span",
             "name": self.name,
             "span_id": self.span_id,
@@ -154,7 +174,10 @@ class Span:
             "dur_s": dur,
             "status": status,
             "attrs": self.attrs,
-        })
+        }
+        if self._res0 is not None:
+            event["res"] = resources.delta(self._res0)
+        _sink.emit(event)
         if _log.isEnabledFor(logging.DEBUG):
             _log.debug("span %s [%s]: %.3f ms %s", self.name, status,
                        dur * 1e3, self.attrs or "")

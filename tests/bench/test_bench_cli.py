@@ -46,6 +46,49 @@ def test_run_writes_schema_valid_artifact(tmp_path, capsys, demo_suite):
     assert "wrote" in capsys.readouterr().out
 
 
+def test_run_trace_writes_per_case_traces(tmp_path, demo_suite):
+    from repro.obs.events import read_trace
+    from repro.bench.runner import trace_filename
+
+    out = tmp_path / "BENCH_demo.json"
+    traces = tmp_path / "traces"
+    assert cli.main(["run", "--suite", "demo", "--out", str(out),
+                     "--trace", str(traces), "--quiet"]) == 0
+    for case_name in ("demo/serial", "demo/fast"):
+        path = traces / trace_filename(case_name)
+        assert path.exists(), path
+        manifest, events = read_trace(path)
+        assert manifest is not None
+        [span] = [e for e in events if e["kind"] == "span"]
+        assert span["name"] == "bench.case"
+        assert span["attrs"]["case"] == case_name
+        assert "cpu_s" in span["res"]
+
+
+def test_compare_failure_prints_trace_diff(tmp_path, demo_suite, capsys):
+    """A tripped gate with traces on both sides names the span paths
+    that moved."""
+    traces_a = tmp_path / "traces-a"
+    traces_b = tmp_path / "traces-b"
+    baseline = tmp_path / "baseline.json"
+    current = tmp_path / "current.json"
+    assert cli.main(["run", "--suite", "demo", "--out", str(baseline),
+                     "--trace", str(traces_a), "--quiet"]) == 0
+    assert cli.main(["run", "--suite", "demo", "--out", str(current),
+                     "--trace", str(traces_b), "--quiet"]) == 0
+    capsys.readouterr()
+    # Force a failure regardless of timing noise.
+    code = cli.main(["compare", str(current), "--baseline", str(baseline),
+                     "--max-ratio", "0.000001",
+                     "--trace-dir", str(traces_b),
+                     "--baseline-trace-dir", str(traces_a), "--quiet"])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "REGRESSION" in err
+    assert "span paths that moved" in err
+    assert "bench.case" in err
+
+
 def test_run_case_filter(tmp_path, demo_suite):
     out = tmp_path / "BENCH_demo.json"
     assert cli.main(["run", "--suite", "demo", "--out", str(out),

@@ -35,6 +35,14 @@ class TestExecuteUnit:
         assert outcome["result"] == json.loads(direct.to_json())
         assert outcome["elapsed"] > 0
 
+    def test_unit_outcome_carries_resources(self):
+        """Resources are sampled unconditionally — they feed status
+        and the manifest even for untraced runs."""
+        plan = plan_experiments(["E1"], QUICK)
+        outcome = execute_unit(dict(plan.units[0].payload))
+        assert outcome["resources"]["cpu_s"] >= 0.0
+        assert outcome["resources"]["peak_rss_kb"] > 0
+
     def test_unknown_kind_rejected(self):
         with pytest.raises(ValueError, match="unknown work-unit kind"):
             execute_unit({"kind": "nope"})
@@ -89,6 +97,29 @@ class TestCampaignCaching:
         assert manifest["units"] == {"total": 1, "fetched": 0, "computed": 1}
         assert manifest["plan"][0]["label"] == "E1"
         assert "git_rev" in manifest
+
+    def test_manifest_carries_per_unit_resources(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_experiments(["E1"], QUICK)
+        run_campaign(plan, store)
+        [entry] = read_manifest(store)["plan"]
+        assert entry["elapsed"] > 0
+        assert entry["resources"]["cpu_s"] >= 0.0
+        assert entry["resources"]["peak_rss_kb"] > 0
+        # Warm rerun: the fetched unit reports the ORIGINAL
+        # computation's usage, read back from the store's meta.
+        warm = run_campaign(plan, store)
+        [warm_entry] = read_manifest(store)["plan"]
+        assert warm_entry["resources"] == entry["resources"]
+        key = plan.units[0].key
+        assert warm.unit_resources[key] == entry["resources"]
+
+    def test_report_collects_unit_resources(self, tmp_path):
+        plan = plan_experiments(["E1", "E13"], QUICK)
+        report = run_campaign(plan, ResultStore(tmp_path / "s"))
+        assert set(report.unit_resources) == {u.key for u in plan}
+        for res in report.unit_resources.values():
+            assert res["cpu_s"] >= 0.0
 
 
 class TestSweepCampaigns:
@@ -148,3 +179,15 @@ class TestQueryLayer:
         status = campaign_status(store, plan)
         assert [row["cached"] for row in status] == [True, False]
         assert status[0]["verdict"] == "consistent"
+
+    def test_status_table_resource_columns(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        plan = plan_experiments(["E1"], QUICK)
+        run_campaign(plan, store)
+        [row] = campaign_status(store, plan)
+        assert row["cpu_s"] >= 0.0
+        assert row["rss_mb"] > 0
+        # Uncached units render blank, not zero.
+        [_, missing] = campaign_status(
+            store, plan_experiments(["E1", "E13"], QUICK))
+        assert missing["cpu_s"] == "" and missing["rss_mb"] == ""

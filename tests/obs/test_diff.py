@@ -1,0 +1,129 @@
+"""Trace diffing: the acceptance gate is that an injected kernel
+slowdown ranks that kernel's span path first."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.diff import diff_paths, diff_traces, render_diff
+from repro.obs.profile import aggregate_paths, build_span_tree
+from repro.obs.sinks import JsonlSink
+
+
+def _span(name, span_id, parent_id, *, ts=0.0, dur=1.0,
+          res=None):
+    ev = {"kind": "span", "name": name, "span_id": span_id,
+          "parent_id": parent_id, "pid": 1, "ts": ts, "dur_s": dur,
+          "status": "ok", "attrs": {}}
+    if res is not None:
+        ev["res"] = res
+    return ev
+
+
+def _stats(events):
+    return aggregate_paths(build_span_tree(events))
+
+
+def _run(kernel_dur, other_dur=0.3):
+    """A synthetic run: root -> {kernel, other}; root self-time fixed."""
+    total = 0.1 + kernel_dur + other_dur
+    return _stats([
+        _span("kernel", "1.2", "1.1", ts=0.05, dur=kernel_dur,
+              res={"cpu_s": kernel_dur * 0.9, "peak_rss_kb": 1000.0}),
+        _span("other", "1.3", "1.1", ts=1.0, dur=other_dur,
+              res={"cpu_s": other_dur * 0.9, "peak_rss_kb": 1000.0}),
+        _span("root", "1.1", None, ts=0.0, dur=total,
+              res={"cpu_s": total * 0.9, "peak_rss_kb": 1000.0}),
+    ])
+
+
+class TestRanking:
+    def test_injected_slowdown_ranks_the_kernel_path_first(self):
+        """The acceptance criterion: a ~2x kernel slowdown names the
+        kernel's span path, not its ancestors — even though the root's
+        *total* moved just as much."""
+        diff = diff_paths(_run(kernel_dur=1.0), _run(kernel_dur=2.0))
+        top = diff.ranked[0]
+        assert top.path == ("root", "kernel")
+        assert top.self_delta_s == pytest.approx(1.0)
+        assert top.ratio == pytest.approx(2.0)
+        # The root inherited the full second in total but none in self.
+        root = next(d for d in diff.deltas if d.path == ("root",))
+        assert root.total_delta_s == pytest.approx(1.0)
+        assert abs(root.self_delta_s) < 1e-9
+
+    def test_speedup_ranks_by_absolute_movement(self):
+        diff = diff_paths(_run(kernel_dur=2.0), _run(kernel_dur=1.0))
+        top = diff.ranked[0]
+        assert top.path == ("root", "kernel")
+        assert top.self_delta_s == pytest.approx(-1.0)
+
+    def test_net_movement_equals_root_total_delta(self):
+        diff = diff_paths(_run(kernel_dur=1.0), _run(kernel_dur=2.0))
+        assert diff.total_delta_s == pytest.approx(1.0)
+
+    def test_cpu_and_rss_deltas(self):
+        a = _stats([_span("k", "1.1", None, dur=1.0,
+                          res={"cpu_s": 0.8, "peak_rss_kb": 1000.0})])
+        b = _stats([_span("k", "1.1", None, dur=1.0,
+                          res={"cpu_s": 1.6, "peak_rss_kb": 3048.0})])
+        [delta] = diff_paths(a, b).deltas
+        assert delta.cpu_delta_s == pytest.approx(0.8)
+        assert delta.rss_delta_kb == pytest.approx(2048.0)
+
+
+class TestAddedRemoved:
+    def test_paths_on_one_side_only(self):
+        a = _stats([_span("old", "1.1", None, dur=0.5)])
+        b = _stats([_span("new", "1.1", None, dur=0.5)])
+        by_status = {d.status: d for d in diff_paths(a, b).deltas}
+        assert by_status["removed"].path == ("old",)
+        assert by_status["added"].path == ("new",)
+        assert by_status["added"].ratio is None
+
+    def test_run_vs_self_is_all_zero(self):
+        """The CI sanity check: diffing a trace against itself reports
+        no movement anywhere."""
+        stats = _run(kernel_dur=1.0)
+        diff = diff_paths(stats, stats)
+        assert diff.total_delta_s == 0.0
+        for d in diff.deltas:
+            assert d.status == "common"
+            assert d.self_delta_s == 0.0
+            assert d.ratio == pytest.approx(1.0)
+
+
+class TestFileLevel:
+    def _trace(self, path, spin):
+        sink = JsonlSink(path, argv=["test"])
+        previous = obs.configure(sink)
+        try:
+            with obs.span("run"):
+                with obs.span("kernel"):
+                    sum(i * i for i in range(spin))
+                with obs.span("other"):
+                    sum(i * i for i in range(10_000))
+        finally:
+            obs.configure(previous if previous.live else None)
+            sink.close()
+
+    def test_diff_traces_ranks_injected_slowdown(self, tmp_path):
+        """End-to-end on real trace files: the slowed-down kernel span
+        ranks first by self-time delta."""
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._trace(a, spin=60_000)
+        self._trace(b, spin=600_000)  # ~10x work in "kernel" only
+        diff = diff_traces(a, b)
+        assert diff.ranked[0].path == ("run", "kernel")
+        assert diff.ranked[0].self_delta_s > 0
+
+    def test_render_lists_paths(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._trace(a, spin=50_000)
+        self._trace(b, spin=50_000)
+        text = render_diff(diff_traces(a, b))
+        assert "run/kernel" in text and "self-time delta" in text
+
+    def test_render_empty_diff(self):
+        assert "no span paths" in render_diff(diff_paths({}, {}))

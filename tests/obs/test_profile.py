@@ -1,0 +1,182 @@
+"""Span-tree reconstruction and per-path self-time attribution."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro import obs
+from repro.obs.profile import (
+    aggregate_paths,
+    build_span_tree,
+    profile_trace,
+    render_profile,
+)
+from repro.obs.sinks import JsonlSink
+
+
+def _span(name, span_id, parent_id, *, ts=0.0, dur=1.0, pid=1,
+          status="ok", res=None):
+    ev = {"kind": "span", "name": name, "span_id": span_id,
+          "parent_id": parent_id, "pid": pid, "ts": ts, "dur_s": dur,
+          "status": status, "attrs": {}}
+    if res is not None:
+        ev["res"] = res
+    return ev
+
+
+def _start(name, span_id, parent_id, *, ts=0.0, pid=1):
+    return {"kind": "span_start", "name": name, "span_id": span_id,
+            "parent_id": parent_id, "pid": pid, "ts": ts, "attrs": {}}
+
+
+class TestBuildSpanTree:
+    def test_exit_order_input_reconstructs_nesting(self):
+        # JSONL order is exit order: children close before parents.
+        events = [_span("child", "1.2", "1.1", ts=0.1, dur=0.5),
+                  _span("root", "1.1", None, ts=0.0, dur=1.0)]
+        [root] = build_span_tree(events)
+        assert root.name == "root"
+        [child] = root.children
+        assert child.name == "child"
+
+    def test_children_sorted_by_start_time(self):
+        events = [_span("b", "1.3", "1.1", ts=0.6),
+                  _span("a", "1.2", "1.1", ts=0.1),
+                  _span("root", "1.1", None, ts=0.0)]
+        [root] = build_span_tree(events)
+        assert [c.name for c in root.children] == ["a", "b"]
+
+    def test_start_only_span_is_unclosed(self):
+        events = [_start("root", "1.1", None),
+                  _start("doomed", "1.2", "1.1", ts=0.5),
+                  _span("root", "1.1", None, dur=1.0)]
+        [root] = build_span_tree(events)
+        assert root.closed
+        [doomed] = root.children
+        assert not doomed.closed
+        assert doomed.dur_s == 0.0
+
+    def test_orphan_parent_becomes_extra_root(self):
+        events = [_span("lost-child", "1.2", "1.404", ts=0.5)]
+        [root] = build_span_tree(events)
+        assert root.name == "lost-child"
+
+    def test_multi_pid_spans_stitch_by_parent_id(self):
+        events = [_span("chunk", "2a.1", "1.1", pid=42, ts=0.2),
+                  _span("chunk", "2b.1", "1.1", pid=43, ts=0.3),
+                  _span("fan_out", "1.1", None, pid=1, ts=0.0)]
+        [root] = build_span_tree(events)
+        assert {c.pid for c in root.children} == {42, 43}
+
+
+class TestAggregatePaths:
+    def test_self_time_excludes_children(self):
+        events = [_span("child", "1.2", "1.1", ts=0.1, dur=0.7),
+                  _span("root", "1.1", None, ts=0.0, dur=1.0)]
+        stats = aggregate_paths(build_span_tree(events))
+        root = stats[("root",)]
+        child = stats[("root", "child")]
+        assert root.total_s == 1.0
+        assert root.self_s == pytest.approx(0.3)
+        assert child.self_s == pytest.approx(0.7)
+
+    def test_same_name_different_parents_are_distinct_paths(self):
+        events = [_span("step", "1.2", "1.1", ts=0.1),
+                  _span("a", "1.1", None, ts=0.0, dur=2.0),
+                  _span("step", "1.4", "1.3", ts=3.1),
+                  _span("b", "1.3", None, ts=3.0, dur=2.0)]
+        stats = aggregate_paths(build_span_tree(events))
+        assert ("a", "step") in stats and ("b", "step") in stats
+
+    def test_repeated_paths_accumulate(self):
+        events = [_span("chunk", "1.2", "1.1", ts=0.1, dur=0.2),
+                  _span("chunk", "1.3", "1.1", ts=0.4, dur=0.3),
+                  _span("fan", "1.1", None, ts=0.0, dur=1.0)]
+        stats = aggregate_paths(build_span_tree(events))
+        chunk = stats[("fan", "chunk")]
+        assert chunk.count == 2
+        assert chunk.total_s == pytest.approx(0.5)
+
+    def test_resource_payloads_aggregate(self):
+        events = [_span("child", "1.2", "1.1", ts=0.1, dur=0.5,
+                        res={"cpu_s": 0.4, "peak_rss_kb": 2000.0}),
+                  _span("root", "1.1", None, ts=0.0, dur=1.0,
+                        res={"cpu_s": 0.9, "peak_rss_kb": 2000.0})]
+        stats = aggregate_paths(build_span_tree(events))
+        root = stats[("root",)]
+        assert root.cpu_s == pytest.approx(0.9)
+        assert root.self_cpu_s == pytest.approx(0.5)
+        assert root.peak_rss_kb == 2000.0
+
+    def test_errors_and_unclosed_counted(self):
+        events = [_start("doomed", "1.2", "1.1"),
+                  _span("bad", "1.3", "1.1", status="error"),
+                  _span("root", "1.1", None, dur=2.0)]
+        stats = aggregate_paths(build_span_tree(events))
+        assert stats[("root", "doomed")].unclosed == 1
+        assert stats[("root", "bad")].errors == 1
+
+
+class TestRender:
+    def test_tree_render_indents_and_flags(self):
+        events = [_start("doomed", "1.2", "1.1", ts=0.5),
+                  _span("root", "1.1", None, dur=1.0)]
+        text = render_profile(aggregate_paths(build_span_tree(events)))
+        assert "root" in text
+        assert "  doomed" in text  # indented one level
+        assert "!1 unclosed" in text
+
+    def test_max_depth_filters(self):
+        events = [_span("deep", "1.2", "1.1", ts=0.1, dur=0.5),
+                  _span("root", "1.1", None, dur=1.0)]
+        text = render_profile(aggregate_paths(build_span_tree(events)),
+                              max_depth=0)
+        assert "root" in text and "deep" not in text
+
+    def test_empty_trace_renders(self):
+        assert "no spans" in render_profile({})
+
+
+@pytest.mark.skipif(sys.platform != "linux",
+                    reason="fork-based span stitching is Linux-only")
+class TestForkedTraceProfile:
+    def test_forked_engine_trace_profiles_as_one_tree(self, tmp_path):
+        from repro.engine import SimulationPlan, run_plan
+
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path, argv=["test"])
+        previous = obs.configure(sink)
+        try:
+            plan = SimulationPlan(model_factory=_make_meg,
+                                  trials=12, seed=11, chunk_size=2)
+            run_plan(plan, backend="parallel", jobs=2)
+        finally:
+            obs.configure(previous if previous.live else None)
+            sink.close()
+
+        roots, stats = profile_trace(path)
+        # Worker chunk spans (other pids) stitch under the parent's
+        # fan-out span: one tree, chunk path nested three deep.
+        chunk_paths = [p for p in stats if p[-1] == "engine.chunk"]
+        [chunk_path] = chunk_paths
+        assert chunk_path[:2] == ("engine.plan", "engine.fan_out")
+        chunk = stats[chunk_path]
+        assert chunk.count == 6
+        pids = {n.pid for root in roots for n in _walk(root)}
+        assert len(pids) >= 2
+        # Resource payloads attach in workers too.
+        assert chunk.cpu_s >= 0.0
+        assert chunk.peak_rss_kb is not None
+
+
+def _make_meg():
+    from repro.edgemeg.meg import EdgeMEG
+    return EdgeMEG(12, 0.3, 0.3)
+
+
+def _walk(node):
+    yield node
+    for child in node.children:
+        yield from _walk(child)

@@ -1,0 +1,118 @@
+"""Resource sampling: modes, attach/detach, span payload semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs import resources
+
+
+@pytest.fixture(autouse=True)
+def _restore_mode():
+    """Sampling mode must never leak between tests."""
+    previous = resources.mode()
+    yield
+    resources.set_mode(previous)
+
+
+class TestRead:
+    def test_read_samples_unconditionally(self):
+        resources.set_mode("off")
+        reading = resources.read()
+        assert reading.cpu_s >= 0.0
+        assert reading.peak_rss_kb is None or reading.peak_rss_kb > 0
+
+    def test_cpu_time_is_monotonic(self):
+        first = resources.read()
+        # Burn a little CPU so the delta is measurable.
+        sum(i * i for i in range(200_000))
+        second = resources.read()
+        assert second.cpu_s >= first.cpu_s
+
+
+class TestModes:
+    def test_default_mode_is_rusage(self):
+        # The shipped default matters: spans must carry cpu_s/peak_rss
+        # without anyone opting in.
+        assert resources.mode() == "rusage"
+
+    def test_set_mode_returns_previous(self):
+        resources.set_mode("rusage")
+        assert resources.set_mode("off") == "rusage"
+        assert resources.mode() == "off"
+
+    def test_bad_mode_is_rejected(self):
+        with pytest.raises(ValueError, match="sampling mode"):
+            resources.set_mode("psutil")
+
+    def test_sampling_context_restores(self):
+        resources.set_mode("rusage")
+        with resources.sampling("off"):
+            assert resources.mode() == "off"
+        assert resources.mode() == "rusage"
+
+    def test_off_mode_detaches_begin(self):
+        with resources.sampling("off"):
+            assert resources.begin() is None
+
+    def test_tracemalloc_mode_owns_the_tracer(self):
+        import tracemalloc
+        was_tracing = tracemalloc.is_tracing()
+        with resources.sampling("tracemalloc"):
+            assert tracemalloc.is_tracing()
+        assert tracemalloc.is_tracing() == was_tracing
+
+
+class TestDelta:
+    def test_delta_shape_in_rusage_mode(self):
+        with resources.sampling("rusage"):
+            start = resources.begin()
+            res = resources.delta(start)
+        assert res["cpu_s"] >= 0.0
+        assert set(res) <= set(obs.RESOURCE_FIELDS)
+        if res.get("peak_rss_kb") is not None:
+            assert res["peak_rss_kb"] > 0
+
+    def test_delta_includes_tracemalloc_counters(self):
+        with resources.sampling("tracemalloc"):
+            start = resources.begin()
+            blob = [bytes(4096) for _ in range(64)]
+            res = resources.delta(start)
+        assert "py_alloc_kb" in res and "py_peak_kb" in res
+        assert res["py_peak_kb"] > 0
+        del blob
+
+    def test_peak_rss_is_a_high_watermark(self):
+        """Nested spans report the same peak once it is reached."""
+        start = resources.begin()
+        outer = resources.delta(start)
+        inner = resources.delta(resources.begin())
+        assert inner["peak_rss_kb"] >= outer["peak_rss_kb"]
+
+
+class TestSpanIntegration:
+    def test_spans_attach_payloads_while_sampling(self, memory_sink):
+        with resources.sampling("rusage"):
+            with obs.span("sampled"):
+                pass
+        [ev] = [e for e in memory_sink.events if e["kind"] == "span"]
+        obs.validate_event(ev)
+        assert "cpu_s" in ev["res"]
+
+    def test_off_mode_omits_the_res_field(self, memory_sink):
+        with resources.sampling("off"):
+            with obs.span("unsampled"):
+                pass
+        [ev] = [e for e in memory_sink.events if e["kind"] == "span"]
+        obs.validate_event(ev)
+        assert "res" not in ev
+
+    def test_tracemalloc_payload_round_trips_schema(self, memory_sink):
+        with resources.sampling("tracemalloc"):
+            with obs.span("py.heavy"):
+                blob = [bytes(1024) for _ in range(32)]
+        [ev] = [e for e in memory_sink.events if e["kind"] == "span"]
+        obs.validate_event(ev)
+        assert "py_peak_kb" in ev["res"]
+        del blob

@@ -10,6 +10,7 @@ from repro import obs
 from repro.obs.events import (
     SCHEMA_NAME,
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     build_manifest,
     read_trace,
     schema_fingerprint,
@@ -17,17 +18,23 @@ from repro.obs.events import (
 )
 from repro.obs.sinks import JsonlSink
 
-#: The pinned layout hash of trace schema v1.  If this test fails you
-#: have changed the shape of the JSONL trace events: bump
-#: SCHEMA_VERSION and update the hash — historical traces must stay
-#: parseable on their recorded version (the repro.bench discipline).
-FROZEN_SCHEMA_V1 = \
-    "5f604f7486bdf93638b9e9b83ebf55d88a5f8d93cbb2534f5d0a780dd2e860a7"
+#: The pinned layout hash of trace schema v2 (v1 + ``span_start`` open
+#: records and the optional per-span ``res`` resource payload).  If
+#: this test fails you have changed the shape of the JSONL trace
+#: events: bump SCHEMA_VERSION and update the hash — historical traces
+#: must stay parseable on their recorded version (the repro.bench
+#: discipline; v1 traces are still accepted via SUPPORTED_VERSIONS).
+FROZEN_SCHEMA_V2 = \
+    "b8fd0e9127d856069690db7b8326be640cf3bae81618bbc8d67ac04701a2f43d"
 
 
 def test_schema_fingerprint_is_frozen():
-    assert SCHEMA_VERSION == 1
-    assert schema_fingerprint() == FROZEN_SCHEMA_V1
+    assert SCHEMA_VERSION == 2
+    assert schema_fingerprint() == FROZEN_SCHEMA_V2
+
+
+def test_all_prior_versions_stay_supported():
+    assert SUPPORTED_VERSIONS == tuple(range(1, SCHEMA_VERSION + 1))
 
 
 def test_manifest_validates():
@@ -44,6 +51,43 @@ def test_wrong_schema_version_is_rejected():
     manifest["schema_version"] = 99
     with pytest.raises(ValueError, match="unsupported trace schema"):
         validate_event(manifest)
+
+
+def test_v1_manifest_is_still_accepted():
+    """Historical traces parse on their recorded version."""
+    manifest = build_manifest()
+    manifest["schema_version"] = 1
+    validate_event(manifest)
+
+
+def test_span_resource_payload_validates():
+    ev = {"kind": "span", "name": "x", "span_id": "1.1", "parent_id": None,
+          "pid": 1, "ts": 0.0, "dur_s": 0.1, "status": "ok", "attrs": {},
+          "res": {"cpu_s": 0.05, "peak_rss_kb": 120000.0}}
+    validate_event(ev)
+
+
+def test_unknown_resource_field_is_rejected():
+    """A new resource field is a deliberate schema change, not a drive-by."""
+    ev = {"kind": "span", "name": "x", "span_id": "1.1", "parent_id": None,
+          "pid": 1, "ts": 0.0, "dur_s": 0.1, "status": "ok", "attrs": {},
+          "res": {"gpu_s": 1.0}}
+    with pytest.raises(ValueError, match="resource field"):
+        validate_event(ev)
+
+
+def test_non_numeric_resource_value_is_rejected():
+    ev = {"kind": "span", "name": "x", "span_id": "1.1", "parent_id": None,
+          "pid": 1, "ts": 0.0, "dur_s": 0.1, "status": "ok", "attrs": {},
+          "res": {"cpu_s": "fast"}}
+    with pytest.raises(ValueError, match="cpu_s"):
+        validate_event(ev)
+
+
+def test_span_start_open_record_validates():
+    ev = {"kind": "span_start", "name": "x", "span_id": "1.1",
+          "parent_id": None, "pid": 1, "ts": 0.0, "attrs": {}}
+    validate_event(ev)
 
 
 def test_unknown_kind_is_rejected():
@@ -93,10 +137,11 @@ class TestJsonlRoundTrip:
         manifest, events = read_trace(path)
         assert manifest is not None
         assert manifest["argv"] == ["test"]
-        # Emission order: the counter fires inside the span, the span
-        # lands on exit, the lifecycle event after it.
+        # Emission order: the open record lands on entry, the counter
+        # fires inside the span, the span closes on exit, the
+        # lifecycle event after it.
         kinds = [e["kind"] for e in events]
-        assert kinds == ["metric", "span", "event"]
+        assert kinds == ["span_start", "metric", "span", "event"]
         # Everything that went in comes back out, byte-stable under a
         # second encode.
         for event in events:

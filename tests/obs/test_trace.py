@@ -34,11 +34,17 @@ class TestDisabledPath:
         assert sink.events == []
 
 
+def _spans(sink):
+    """The closing ``span`` records (each live span also emits a
+    ``span_start`` open record on entry)."""
+    return [e for e in sink.events if e["kind"] == "span"]
+
+
 class TestLiveSpans:
     def test_span_emits_schema_valid_event(self, memory_sink):
         with obs.span("phase.one", n=64):
             pass
-        [ev] = memory_sink.events
+        [ev] = _spans(memory_sink)
         obs.validate_event(ev)
         assert ev["name"] == "phase.one"
         assert ev["attrs"] == {"n": 64}
@@ -46,13 +52,32 @@ class TestLiveSpans:
         assert ev["pid"] == os.getpid()
         assert ev["dur_s"] >= 0.0
 
+    def test_span_start_open_record_precedes_the_close(self, memory_sink):
+        with obs.span("phase.one", n=64):
+            pass
+        start, close = memory_sink.events
+        obs.validate_event(start)
+        assert start["kind"] == "span_start"
+        assert start["span_id"] == close["span_id"]
+        assert start["name"] == close["name"]
+        assert start["ts"] == close["ts"]
+        assert start["attrs"] == {"n": 64}
+
+    def test_span_carries_resource_payload(self, memory_sink):
+        with obs.span("phase.one"):
+            pass
+        [ev] = _spans(memory_sink)
+        assert "cpu_s" in ev["res"]
+        assert ev["res"]["cpu_s"] >= 0.0
+        assert ev["res"]["peak_rss_kb"] > 0.0
+
     def test_nesting_links_parent_ids(self, memory_sink):
         with obs.span("outer") as outer:
             assert obs.current_span_id() == outer.span_id
             with obs.span("inner") as inner:
                 assert inner.parent_id == outer.span_id
         assert obs.current_span_id() is None
-        inner_ev, outer_ev = memory_sink.events
+        inner_ev, outer_ev = _spans(memory_sink)
         assert inner_ev["name"] == "inner"
         assert inner_ev["parent_id"] == outer_ev["span_id"]
         assert outer_ev["parent_id"] is None
@@ -62,14 +87,17 @@ class TestLiveSpans:
             with obs.span("b"):
                 with obs.span("c"):
                     pass
-        names = [e["name"] for e in memory_sink.events]
+        names = [e["name"] for e in _spans(memory_sink)]
         assert names == ["c", "b", "a"]
+        starts = [e["name"] for e in memory_sink.events
+                  if e["kind"] == "span_start"]
+        assert starts == ["a", "b", "c"]  # entry order
 
     def test_span_ids_are_unique_and_pid_prefixed(self, memory_sink):
         for _ in range(10):
             with obs.span("s"):
                 pass
-        ids = [e["span_id"] for e in memory_sink.events]
+        ids = [e["span_id"] for e in _spans(memory_sink)]
         assert len(set(ids)) == len(ids)
         assert all(i.startswith(f"{os.getpid():x}.") for i in ids)
 
@@ -77,14 +105,14 @@ class TestLiveSpans:
         with pytest.raises(RuntimeError, match="boom"):
             with obs.span("failing"):
                 raise RuntimeError("boom")
-        [ev] = memory_sink.events
+        [ev] = _spans(memory_sink)
         assert ev["status"] == "error"
         assert obs.current_span_id() is None  # context restored
 
     def test_set_attaches_mid_span_attributes(self, memory_sink):
         with obs.span("s", fixed=1) as sp:
             sp.set(hit=True)
-        [ev] = memory_sink.events
+        [ev] = _spans(memory_sink)
         assert ev["attrs"] == {"fixed": 1, "hit": True}
 
 
