@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Observability quickstart: trace a run, then read the trace.
 
-Four stops:
+Five stops:
 
 1. run an E1 campaign with a JSONL trace sink attached and render the
    resulting per-phase breakdown (what ``--trace`` + ``python -m
@@ -11,7 +11,11 @@ Four stops:
    summarize it straight from an in-memory sink — no file needed,
 4. profile a trace as a span tree (self vs child time, CPU, peak RSS)
    and diff two traces to see which span path a slowdown lives in
-   (what ``python -m repro.obs profile`` / ``diff`` do).
+   (what ``python -m repro.obs profile`` / ``diff`` do),
+5. watch a trace live (the ``repro.campaign run --watch`` dashboard,
+   here rendered as one frame) and grow a perf-history store whose
+   drift gate catches a slowdown that crept in across runs, each step
+   inside the per-run tolerance (``repro.bench history``).
 
 Run:  python examples/trace_quickstart.py
 """
@@ -128,6 +132,63 @@ def profile_and_diff(workdir: Path) -> None:
     print("  python -m repro.obs profile after.jsonl")
     print("  python -m repro.obs diff before.jsonl after.jsonl")
     print("  python -m repro.bench run --suite engine --trace traces/")
+    print()
+
+
+def watch_and_history(workdir: Path) -> None:
+    from repro.bench.results import CaseResult, SuiteResult
+    from repro.obs.history import HistoryStore, check_drift, render_trend
+    from repro.obs.live import render_dashboard
+    from repro.obs.stream import LiveAggregator, TraceFollower
+
+    # -- live watching: follow the trace stop 1 wrote and render one
+    # dashboard frame from it.  During a real run the same loop
+    # repaints continuously:  python -m repro.obs watch r/trace.jsonl
+    # (or simply  python -m repro.campaign run ... --watch).
+    trace = workdir / "campaign" / "trace.jsonl"
+    follower = TraceFollower(trace)
+    agg = LiveAggregator()
+    agg.ingest(follower.poll())
+    print("== one live-dashboard frame of the stop-1 trace ==")
+    print(render_dashboard(agg.snapshot(), title=f"watching {trace.name}"))
+    print()
+
+    # -- perf history: record three synthetic bench runs whose case
+    # creeps +8% per run.  Each step passes the generous per-run
+    # 'compare' tolerance; the rolling-median + MAD gate still fails
+    # the cumulative ~25% drift.
+    def artifact(run: int, median_s: float) -> SuiteResult:
+        case = CaseResult(name="demo/kernel", scale="quick", rounds=3,
+                          best_s=median_s * 0.97, median_s=median_s,
+                          iqr_s=median_s * 0.01, speedup=None,
+                          floor=None, tolerance=4.0)
+        built = SuiteResult.build("demo", (case,))
+        # Distinct provenance per synthetic run (the store's idempotence
+        # key); a real history gets this from each run's artifact.
+        return type(built)(**{**built.__dict__,
+                              "created_at": f"2026-01-{run + 1:02d}"
+                                            f"T00:00:00+00:00",
+                              "git_sha": f"{run:040x}"})
+
+    db = workdir / "history.sqlite"
+    with HistoryStore(db) as store:
+        for run, median in enumerate([0.100, 0.100, 0.100, 0.100,
+                                      0.108, 0.117]):
+            store.record(artifact(run, median))
+        current = artifact(9, 0.125)
+        print("== recorded history: demo/kernel creeping +8% per run ==")
+        print(render_trend(store, "demo",
+                           machine_id=None))  # all machines: demo data
+        print()
+        report = check_drift(store, current)
+        for drift in report.comparisons:
+            print(f"history check: {drift.name}: {drift.status}"
+                  + (f" — {drift.note}" if drift.note else ""))
+    print()
+    print("CLI spelling:")
+    print("  python -m repro.bench history record BENCH_demo.json")
+    print("  python -m repro.bench history trend demo --case '*kernel*'")
+    print("  python -m repro.bench history check BENCH_demo.json")
 
 
 if __name__ == "__main__":
@@ -140,3 +201,4 @@ if __name__ == "__main__":
         traced_campaign(Path(tmp) / "campaign")
         instrument_your_own_code()
         profile_and_diff(Path(tmp))
+        watch_and_history(Path(tmp))

@@ -8,13 +8,22 @@ Usage::
     python -m repro.bench compare BENCH_micro.json
     python -m repro.bench compare BENCH_engine.json --baseline other.json
     python -m repro.bench report BENCH_micro.json old/BENCH_micro.json
+    python -m repro.bench history record BENCH_micro.json
+    python -m repro.bench history trend micro --case "*flood*"
+    python -m repro.bench history check BENCH_micro.json
 
 ``run`` measures a suite and writes its schema-versioned
 ``BENCH_<suite>.json`` artifact (nonzero exit when an asserted speedup
 floor is violated); ``compare`` gates an artifact against the stored
 baseline under ``benchmarks/baselines/`` and exits nonzero on any
 regression or missing case; ``report`` renders artifacts as an ASCII
-table plus, given several runs, a per-case trend canvas.
+table plus, given several runs, a per-case trend canvas; ``history``
+is the longitudinal layer — ``record`` appends artifacts into the
+SQLite perf-history store, ``trend`` renders per-case trajectories as
+sparklines/canvases, and ``check`` runs rolling-median + MAD drift
+detection, failing a case that crept past the threshold even though
+every individual run passed ``compare``'s per-run tolerance (see
+:mod:`repro.obs.history`).
 """
 
 from __future__ import annotations
@@ -32,11 +41,17 @@ from repro.bench.runner import floor_failures, run_suite
 from repro.bench.timer import MeasureConfig
 from repro.util.timing import format_seconds
 
-__all__ = ["main", "build_parser", "DEFAULT_BASELINE_DIR"]
+__all__ = ["main", "build_parser", "DEFAULT_BASELINE_DIR",
+           "DEFAULT_HISTORY_DB"]
 
 #: Where ``compare`` looks for a suite's baseline unless told otherwise
 #: (relative to the working directory — CI runs at the repo root).
 DEFAULT_BASELINE_DIR = Path("benchmarks") / "baselines"
+
+#: Default perf-history database (``history record|trend|check``).
+#: Machine-local by nature (absolute times only form a series on one
+#: host) — CI keeps its own copy in a restored cache, never in git.
+DEFAULT_HISTORY_DB = Path("benchmarks") / "history.sqlite"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -100,6 +115,56 @@ def build_parser() -> argparse.ArgumentParser:
                              "(same suite; several files -> trend)")
     report.add_argument("--case", default=None, metavar="GLOB",
                         help="restrict the trend canvas to matching cases")
+
+    history = sub.add_parser(
+        "history", help="append-only perf history + longitudinal "
+                        "drift gate")
+    hsub = history.add_subparsers(dest="history_command", required=True)
+
+    record = hsub.add_parser(
+        "record", help="append BENCH_<suite>.json artifacts to the "
+                       "history store (idempotent)")
+    record.add_argument("results", type=Path, nargs="+",
+                        help="one or more BENCH_<suite>.json artifacts")
+    record.add_argument("--db", type=Path, default=DEFAULT_HISTORY_DB,
+                        help=f"history database "
+                             f"(default: {DEFAULT_HISTORY_DB})")
+
+    trend = hsub.add_parser(
+        "trend", help="render a suite's recorded per-case trajectories")
+    trend.add_argument("suite", help="suite name (see 'list --suites')")
+    trend.add_argument("--db", type=Path, default=DEFAULT_HISTORY_DB)
+    trend.add_argument("--case", default=None, metavar="GLOB",
+                       help="only cases matching this fnmatch pattern "
+                            "(<= 4 matches also get a full plot canvas)")
+    trend.add_argument("--machine", default=None, metavar="ID",
+                       help="restrict to one machine id (default: the "
+                            "current machine's; 'all' mixes machines)")
+    trend.add_argument("--limit", type=int, default=None,
+                       help="only the most recent N runs per case")
+
+    check = hsub.add_parser(
+        "check", help="rolling-median + MAD drift gate: fail cases "
+                      "that crept past the threshold across runs even "
+                      "though each run passed 'compare'")
+    check.add_argument("results", type=Path, nargs="+",
+                       help="current BENCH_<suite>.json artifact(s)")
+    check.add_argument("--db", type=Path, default=DEFAULT_HISTORY_DB)
+    check.add_argument("--window", type=int, default=None,
+                       help="history runs in the rolling window "
+                            "(default 10)")
+    check.add_argument("--min-runs", type=int, default=None,
+                       help="history runs required before a case can "
+                            "fail (default 4; fewer reports "
+                            "'insufficient' and passes)")
+    check.add_argument("--z-threshold", type=float, default=None,
+                       help="robust z-score a drift must exceed "
+                            "(default 4.0)")
+    check.add_argument("--min-rel", type=float, default=None,
+                       help="relative excess over the rolling median a "
+                            "drift must exceed (default 0.15)")
+    check.add_argument("--quiet", action="store_true",
+                       help="only print drift failures")
 
     list_parser = sub.add_parser("list",
                                  help="list suites and registered cases")
@@ -206,6 +271,79 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_history(args: argparse.Namespace) -> int:
+    command = {"record": _cmd_history_record, "trend": _cmd_history_trend,
+               "check": _cmd_history_check}
+    return command[args.history_command](args)
+
+
+def _cmd_history_record(args: argparse.Namespace) -> int:
+    from repro.obs.history import HistoryStore
+
+    with HistoryStore(args.db) as store:
+        for path in args.results:
+            result = load_result(path)
+            run_id, inserted = store.record(result)
+            verb = "recorded" if inserted else "already recorded"
+            print(f"{verb} {path}: suite {result.suite}, "
+                  f"{len(result.cases)} case(s), git "
+                  f"{(result.git_sha or 'unknown')[:12]} "
+                  f"-> run {run_id} in {args.db}")
+    return 0
+
+
+def _cmd_history_trend(args: argparse.Namespace) -> int:
+    from repro.bench.results import machine_fingerprint
+    from repro.obs.history import HistoryStore, machine_id, render_trend
+
+    # Absolute times only form a series on one host, so the trend
+    # defaults to this machine's rows; '--machine all' mixes on purpose.
+    if args.machine == "all":
+        mid = None
+    elif args.machine is not None:
+        mid = args.machine
+    else:
+        mid = machine_id(machine_fingerprint())
+    with HistoryStore(args.db) as store:
+        print(render_trend(store, args.suite, machine_id=mid,
+                           pattern=args.case, limit=args.limit))
+    return 0
+
+
+def _cmd_history_check(args: argparse.Namespace) -> int:
+    from repro.obs import history as h
+
+    exit_code = 0
+    with h.HistoryStore(args.db) as store:
+        for path in args.results:
+            result = load_result(path)
+            report = h.check_drift(
+                store, result,
+                window=args.window if args.window is not None
+                else h.DEFAULT_WINDOW,
+                min_runs=args.min_runs if args.min_runs is not None
+                else h.DEFAULT_MIN_RUNS,
+                z_threshold=args.z_threshold if args.z_threshold is not None
+                else h.DEFAULT_Z_THRESHOLD,
+                min_rel=args.min_rel if args.min_rel is not None
+                else h.DEFAULT_MIN_REL)
+            if not args.quiet:
+                print(f"suite {report.suite}: current "
+                      f"{(result.git_sha or 'unknown')[:12]} vs history "
+                      f"on machine {report.machine_id} ({args.db})")
+                print(render_table(report.rows()))
+            for failure in report.failures:
+                print(f"DRIFT: {failure.name}: {failure.note}",
+                      file=sys.stderr)
+            if report.ok:
+                if not args.quiet:
+                    print(f"{len(report.comparisons)} case(s) within "
+                          f"longitudinal tolerance")
+            else:
+                exit_code = 1
+    return exit_code
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     if args.suites:
         for suite in suite_names():
@@ -231,7 +369,8 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     command = {"run": _cmd_run, "compare": _cmd_compare,
-               "report": _cmd_report, "list": _cmd_list}
+               "report": _cmd_report, "history": _cmd_history,
+               "list": _cmd_list}
     return command[args.command](args)
 
 

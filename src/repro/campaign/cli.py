@@ -69,6 +69,11 @@ def build_parser() -> argparse.ArgumentParser:
                      help="also save per-experiment .txt/.csv/.json artifacts")
     run.add_argument("--quiet", action="store_true",
                      help="suppress per-unit progress lines")
+    run.add_argument("--watch", action="store_true",
+                     help="repaint a live dashboard (progress/ETA, active "
+                          "span stacks, per-unit heartbeats) on stderr "
+                          "while the campaign runs; implies --trace into "
+                          "the results dir when no trace path is given")
     add_obs_arguments(run)
 
     status = sub.add_parser("status",
@@ -101,15 +106,35 @@ def _cmd_run(args: argparse.Namespace) -> int:
     store = ResultStore(args.results_dir)
 
     # Telemetry-backed default renderer: done/total, cache-hit %, and
-    # an ETA from a rolling per-unit rate.  --quiet drops it entirely.
-    progress = None if args.quiet else CampaignProgress()
+    # an ETA from a rolling per-unit rate.  --quiet drops it entirely,
+    # --watch replaces it with the full dashboard (which would otherwise
+    # fight the progress lines for the same stderr).
+    progress = None if args.quiet or args.watch else CampaignProgress()
+
+    watcher = None
+    if args.watch:
+        # The dashboard reads the run's own trace, so watching forces
+        # one on; results_dir is where a resumable campaign's artifacts
+        # already live.  The trace carries every event the follower
+        # needs — results stay bit-identical to an untraced run.
+        if args.trace is None:
+            args.trace = args.results_dir / "trace.jsonl"
+        from repro.obs.live import watch_in_thread
 
     # With --backend parallel the parallelism lives *inside* each
     # experiment; run units one at a time to avoid nested process pools.
     jobs = 1 if args.backend == "parallel" else args.jobs
     with session_from_args(args):
-        report = run_campaign(plan, store, jobs=jobs, force=args.force,
-                              progress=progress)
+        if args.watch:
+            watcher = watch_in_thread(args.trace, stream=sys.stderr)
+        try:
+            report = run_campaign(plan, store, jobs=jobs, force=args.force,
+                                  progress=progress)
+        finally:
+            if watcher is not None:
+                thread, stop = watcher
+                stop.set()
+                thread.join(timeout=10.0)
     inconsistent = print_experiment_report(report, plan,
                                            output_dir=args.output)
     print(f"campaign: {report.total} units, {len(report.fetched)} cached, "

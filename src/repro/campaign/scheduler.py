@@ -32,6 +32,7 @@ from typing import Any, Callable
 
 from repro import obs
 from repro.obs import resources
+from repro.obs.heartbeat import unit_heartbeat
 from repro.analysis.records import rows_to_json
 from repro.analysis.sweep import SweepPoint
 from repro.campaign.plan import CampaignPlan, WorkUnit
@@ -107,7 +108,8 @@ def execute_unit(payload: dict[str, Any]) -> dict[str, Any]:
     start = time.perf_counter()
     res0 = resources.read()
     with obs.span("campaign.unit.run", label=label, kind=kind,
-                  key=ident.get("key", "")[:12]):
+                  key=ident.get("key", "")[:12]), \
+            unit_heartbeat(label, key=ident.get("key")):
         obs.event("campaign.unit", status="running", label=label,
                   key=ident.get("key"))
         if kind == "experiment":

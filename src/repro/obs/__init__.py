@@ -25,7 +25,13 @@ and the protocol runner (per-run transmit timing).  Spans carry a
 ``res`` resource payload (CPU seconds, peak-RSS high-watermark —
 see :mod:`repro.obs.resources`); :mod:`repro.obs.profile` reconstructs
 the span tree with self-vs-child attribution and
-:mod:`repro.obs.diff` ranks what moved between two traces.  See the
+:mod:`repro.obs.diff` ranks what moved between two traces.
+
+Live monitoring rides the same trace: :mod:`repro.obs.stream` tails a
+JSONL file while it is written, :mod:`repro.obs.live` repaints the
+``watch`` dashboard from it, :mod:`repro.obs.heartbeat` gives running
+campaign units a liveness pulse, and :mod:`repro.obs.history` is the
+longitudinal perf store behind ``repro.bench history``.  See the
 DESIGN.md observability section for the event schema and the overhead
 policy.
 """
@@ -37,18 +43,30 @@ from repro.obs.events import (
     SCHEMA_NAME,
     SCHEMA_VERSION,
     SUPPORTED_VERSIONS,
+    TraceRead,
     build_manifest,
+    parse_trace_line,
     read_trace,
     schema_fingerprint,
     validate_event,
 )
+from repro.obs.heartbeat import HEARTBEAT_INTERVAL, Heartbeat, unit_heartbeat
+from repro.obs.live import render_dashboard, watch, watch_in_thread
 from repro.obs.profile import (
     aggregate_paths,
     build_span_tree,
+    profile_fingerprint,
+    profile_payload,
     profile_trace,
     render_profile,
 )
-from repro.obs.report import render_summary, summarize
+from repro.obs.report import (
+    render_summary,
+    summarize,
+    summary_fingerprint,
+    summary_payload,
+)
+from repro.obs.stream import LiveAggregator, TraceFollower
 from repro.obs.sinks import JsonlSink, MemorySink, NullSink, Sink, TeeSink
 from repro.obs.trace import (
     configure,
@@ -69,8 +87,13 @@ __all__ = [
     "configure", "enabled", "current_sink", "current_span_id", "trace_path",
     "Sink", "NullSink", "MemorySink", "JsonlSink", "TeeSink",
     "build_manifest", "read_trace", "schema_fingerprint", "validate_event",
-    "summarize", "render_summary",
+    "TraceRead", "parse_trace_line",
+    "summarize", "render_summary", "summary_payload", "summary_fingerprint",
     "resources",
     "build_span_tree", "aggregate_paths", "profile_trace", "render_profile",
+    "profile_payload", "profile_fingerprint",
     "diff_paths", "diff_traces", "render_diff",
+    "TraceFollower", "LiveAggregator",
+    "render_dashboard", "watch", "watch_in_thread",
+    "HEARTBEAT_INTERVAL", "Heartbeat", "unit_heartbeat",
 ]

@@ -34,7 +34,14 @@ from repro.obs import resources
 from repro.obs.sinks import JsonlSink, MemorySink, Sink, TeeSink
 from repro.obs.trace import configure
 
-__all__ = ["add_obs_arguments", "obs_session", "session_from_args"]
+__all__ = ["add_obs_arguments", "obs_session", "session_from_args",
+           "METRICS_MAXLEN"]
+
+#: Ring-buffer cap on the ``--metrics`` in-memory sink.  A long
+#: campaign emits events without bound; the summary printed at exit
+#: then covers the most recent window and reports how many oldest
+#: events the ring evicted (full records belong to ``--trace``).
+METRICS_MAXLEN = 100_000
 
 
 def add_obs_arguments(parser: argparse.ArgumentParser) -> None:
@@ -65,7 +72,7 @@ def obs_session(*, trace: Path | None = None, metrics: bool = False,
     if trace is not None:
         sinks.append(JsonlSink(trace, argv=argv))
     if metrics:
-        memory = MemorySink()
+        memory = MemorySink(maxlen=METRICS_MAXLEN)
         sinks.append(memory)
     if not sinks:
         yield None
@@ -85,6 +92,11 @@ def obs_session(*, trace: Path | None = None, metrics: bool = False,
             from repro.obs.report import render_summary, summarize
             out = stream if stream is not None else sys.stderr
             print(render_summary(None, summarize(memory.events)), file=out)
+            if memory.dropped:
+                print(f"(metrics ring buffer full: {memory.dropped} oldest "
+                      f"event(s) dropped — summary covers the most recent "
+                      f"{memory.maxlen}; use --trace for a full record)",
+                      file=out)
 
 
 def session_from_args(args: argparse.Namespace, *,

@@ -5,20 +5,28 @@ Usage::
     python -m repro.obs report trace.jsonl            # full breakdown
     python -m repro.obs report trace.jsonl --top 20
     python -m repro.obs summary trace.jsonl           # one-paragraph view
+    python -m repro.obs summary trace.jsonl --json    # scripting
     python -m repro.obs profile trace.jsonl           # span tree, self time
-    python -m repro.obs profile trace.jsonl --depth 3
+    python -m repro.obs profile trace.jsonl --depth 3 --json
     python -m repro.obs diff old.jsonl new.jsonl      # what moved, ranked
+    python -m repro.obs watch trace.jsonl             # live dashboard
+    python -m repro.obs watch trace.jsonl --once      # one frame (CI)
     python -m repro.obs validate trace.jsonl          # schema gate (CI)
 
 ``report`` renders the per-phase time breakdown, the top-k slowest
 spans, counters/gauge rollups/histograms, and campaign cache-hit
-stats; ``summary`` prints just the headline numbers; ``profile``
+stats; ``summary`` prints just the headline numbers (``--json`` emits
+the full aggregate, schema-fingerprinted for scripts); ``profile``
 reconstructs the span tree and prints per-path total/self wall time,
-CPU, and peak RSS as an ASCII flame view; ``diff`` compares two traces
-keyed by span path and ranks the movements by self-time contribution,
-so a regression names the kernel that moved; ``validate`` exits
-non-zero on the first schema violation (what the CI obs-smoke step
-gates on) and reports spans a killed run left unclosed.
+CPU, and peak RSS as an ASCII flame view (``--json`` for scripts);
+``diff`` compares two traces keyed by span path and ranks the
+movements by self-time contribution, so a regression names the kernel
+that moved; ``watch`` tails a trace *while it is being written* and
+repaints a live dashboard — active span stacks per pid, counter
+rates, campaign progress/ETA, per-unit heartbeat staleness (see
+:mod:`repro.obs.live`); ``validate`` exits non-zero on the first
+schema violation (what the CI obs-smoke step gates on) and reports
+spans a killed run left unclosed.
 """
 
 from __future__ import annotations
@@ -48,12 +56,35 @@ def build_parser() -> argparse.ArgumentParser:
 
     summary = sub.add_parser("summary", help="headline numbers only")
     summary.add_argument("trace", type=Path)
+    summary.add_argument("--json", action="store_true", dest="as_json",
+                         help="machine-readable aggregate (the summarize() "
+                              "layout, schema-fingerprinted — what scripts "
+                              "should consume instead of parsing tables)")
 
     profile = sub.add_parser(
         "profile", help="span-tree self/total time, CPU, and peak RSS")
     profile.add_argument("trace", type=Path, help="JSONL trace file")
     profile.add_argument("--depth", type=int, default=None,
                          help="only show span paths up to this depth")
+    profile.add_argument("--json", action="store_true", dest="as_json",
+                         help="machine-readable per-path statistics")
+
+    watch = sub.add_parser(
+        "watch", help="live dashboard over a trace being written "
+                      "(campaign progress, span stacks, heartbeats)")
+    watch.add_argument("trace", type=Path, help="JSONL trace file "
+                       "(need not exist yet)")
+    watch.add_argument("--interval", type=float, default=None,
+                       help="seconds between repaints (default 0.5)")
+    watch.add_argument("--once", action="store_true",
+                       help="render a single frame and exit (CI / scripts)")
+    watch.add_argument("--stale-after", type=float, default=None,
+                       help="flag a running unit STALE when its last "
+                            "heartbeat is older than this many seconds "
+                            "(default: 3x the advertised beat interval)")
+    watch.add_argument("--idle-timeout", type=float, default=None,
+                       help="stop when the trace stops growing for this "
+                            "many seconds (default: wait forever)")
 
     diff = sub.add_parser(
         "diff", help="rank the span paths that moved between two traces")
@@ -78,8 +109,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
-    manifest, events = read_trace(args.trace)
+    read = read_trace(args.trace)
+    manifest, events = read
     s = summarize(events)
+    if args.as_json:
+        import json
+
+        from repro.obs.report import summary_payload
+        print(json.dumps(summary_payload(manifest, s,
+                                         partial_tail=read.partial_tail),
+                         sort_keys=True))
+        return 0
     print(format_manifest(manifest))
     cache = s["cache"]
     line = (f"{s['spans']} spans, {len(s['pids'])} process(es), "
@@ -88,6 +128,8 @@ def _cmd_summary(args: argparse.Namespace) -> int:
         line += f", {len(s['unclosed'])} unclosed"
     if cache["rate"] is not None:
         line += f", cache hit rate {cache['rate']:.0%}"
+    if read.partial_tail:
+        line += ", torn final line (writer mid-append)"
     print(line)
     return 0
 
@@ -96,7 +138,27 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.profile import profile_trace, render_profile
 
     _, stats = profile_trace(args.trace)
+    if args.as_json:
+        import json
+
+        from repro.obs.profile import profile_payload
+        print(json.dumps(profile_payload(stats, max_depth=args.depth),
+                         sort_keys=True))
+        return 0
     print(render_profile(stats, max_depth=args.depth))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    from repro.obs.live import DEFAULT_INTERVAL, watch
+
+    interval = DEFAULT_INTERVAL if args.interval is None else args.interval
+    try:
+        watch(args.trace, interval=interval, once=args.once,
+              stale_after=args.stale_after,
+              idle_timeout=args.idle_timeout)
+    except KeyboardInterrupt:
+        pass
     return 0
 
 
@@ -111,10 +173,14 @@ def _cmd_diff(args: argparse.Namespace) -> int:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     try:
-        manifest, events = read_trace(args.trace)
+        read = read_trace(args.trace)
+        manifest, events = read
     except (ValueError, OSError) as exc:
         print(f"INVALID: {exc}", file=sys.stderr)
         return 1
+    if read.partial_tail:
+        print("warning: torn final line dropped (writer caught "
+              "mid-append, or trace truncated)", file=sys.stderr)
     if manifest is None:
         print(f"INVALID: {args.trace}: no manifest line", file=sys.stderr)
         return 1
@@ -135,7 +201,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     command = {"report": _cmd_report, "summary": _cmd_summary,
                "profile": _cmd_profile, "diff": _cmd_diff,
-               "validate": _cmd_validate}
+               "watch": _cmd_watch, "validate": _cmd_validate}
     return command[args.command](args)
 
 

@@ -41,7 +41,7 @@ __all__ = [
     "SCHEMA_NAME", "SCHEMA_VERSION", "SUPPORTED_VERSIONS", "EVENT_KINDS",
     "METRIC_TYPES", "SPAN_STATUSES", "RESOURCE_FIELDS", "build_manifest",
     "machine_fingerprint", "git_sha", "schema_fingerprint",
-    "validate_event", "read_trace",
+    "validate_event", "read_trace", "TraceRead", "parse_trace_line",
 ]
 
 SCHEMA_NAME = "repro.obs/trace"
@@ -208,36 +208,94 @@ def validate_events(events: Iterable[Mapping[str, Any]]) -> None:
         validate_event(event)
 
 
-def read_trace(path: str | Path) -> tuple[dict[str, Any] | None,
-                                          list[dict[str, Any]]]:
+class TraceRead(tuple):
+    """The result of :func:`read_trace`.
+
+    Unpacks as the historical ``(manifest, events)`` pair, and
+    additionally carries :attr:`partial_tail`: ``True`` when the file
+    ended mid-record — a concurrent appender was torn mid-write (or the
+    file was truncated) and the unparseable tail was dropped rather than
+    raised as a located parse error.  Complete records before the tear
+    are all present in ``events``.
+    """
+
+    def __new__(cls, manifest: dict[str, Any] | None,
+                events: list[dict[str, Any]],
+                partial_tail: bool = False) -> "TraceRead":
+        obj = super().__new__(cls, (manifest, events))
+        obj.partial_tail = partial_tail
+        return obj
+
+    @property
+    def manifest(self) -> dict[str, Any] | None:
+        return self[0]
+
+    @property
+    def events(self) -> list[dict[str, Any]]:
+        return self[1]
+
+
+def parse_trace_line(line: str, *, location: str = "") -> dict[str, Any]:
+    """Decode and validate one JSONL trace line (sans newline).
+
+    Raises ``ValueError`` with *location* prefixed (``path:lineno``)
+    on malformed input — shared by :func:`read_trace` and the live
+    follower in :mod:`repro.obs.stream`.
+    """
+    prefix = f"{location}: " if location else ""
+    try:
+        event = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"{prefix}not valid JSON ({exc})") from exc
+    try:
+        validate_event(event)
+    except ValueError as exc:
+        raise ValueError(f"{prefix}{exc}") from exc
+    return event
+
+
+def read_trace(path: str | Path) -> TraceRead:
     """Read and validate a JSONL trace.
 
-    Returns ``(manifest, events)`` where *manifest* is the leading
-    manifest event (or ``None`` for header-less traces, e.g. a raw
-    memory-sink dump) and *events* are the remaining span / metric /
-    point events in file order.  Raises ``ValueError`` on the first
-    malformed line.
+    Returns a :class:`TraceRead` — unpackable as ``(manifest, events)``
+    where *manifest* is the leading manifest event (or ``None`` for
+    header-less traces, e.g. a raw memory-sink dump) and *events* are
+    the remaining span / metric / point events in file order.  Raises
+    ``ValueError`` on the first malformed *terminated* line; a torn
+    **final** line (a concurrent appender caught mid-write) is dropped
+    and reported as ``partial_tail=True`` instead, because every
+    ``os.write`` of the JSONL sink lands a whole line — an unterminated
+    JSON fragment at EOF is an in-flight record, not corruption.
     """
     manifest: dict[str, Any] | None = None
     events: list[dict[str, Any]] = []
-    with open(path, "r", encoding="utf-8") as handle:
-        for lineno, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
-                continue
+    text = Path(path).read_text(encoding="utf-8")
+    terminated = text.endswith("\n")
+    lines = text.split("\n")
+    if terminated:
+        lines = lines[:-1]  # drop the empty fragment after the last \n
+    partial_tail = False
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        final_fragment = not terminated and lineno == len(lines)
+        if final_fragment:
             try:
-                event = json.loads(line)
-            except json.JSONDecodeError as exc:
-                raise ValueError(
-                    f"{path}:{lineno}: not valid JSON ({exc})") from exc
-            try:
-                validate_event(event)
-            except ValueError as exc:
-                raise ValueError(f"{path}:{lineno}: {exc}") from exc
-            if event["kind"] == "manifest":
-                require(manifest is None,
-                        f"{path}:{lineno}: duplicate trace manifest")
-                manifest = event
-            else:
-                events.append(event)
-    return manifest, events
+                json.loads(line)
+            except json.JSONDecodeError:
+                # A proper prefix of a JSON object is never valid JSON,
+                # so an unparseable unterminated tail is a torn write:
+                # keep what parsed, flag the tear.  (A tail that *does*
+                # parse is a whole record missing only its newline —
+                # schema violations in it are real errors, below.)
+                partial_tail = True
+                break
+        event = parse_trace_line(line, location=f"{path}:{lineno}")
+        if event["kind"] == "manifest":
+            require(manifest is None,
+                    f"{path}:{lineno}: duplicate trace manifest")
+            manifest = event
+        else:
+            events.append(event)
+    return TraceRead(manifest, events, partial_tail)

@@ -22,13 +22,20 @@ two traces' paths by how much self time moved.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import hashlib
+import json
+from dataclasses import dataclass, field, fields
 from typing import Any, Iterable, Mapping
 
 from repro.obs.events import read_trace
 
 __all__ = ["SpanNode", "PathStats", "build_span_tree", "aggregate_paths",
-           "profile_trace", "render_profile"]
+           "profile_trace", "render_profile", "profile_payload",
+           "profile_fingerprint", "PROFILE_SCHEMA_NAME",
+           "PROFILE_SCHEMA_VERSION"]
+
+PROFILE_SCHEMA_NAME = "repro.obs/profile"
+PROFILE_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -177,6 +184,46 @@ def profile_trace(path) -> tuple[list[SpanNode],
     _, events = read_trace(path)
     roots = build_span_tree(events)
     return roots, aggregate_paths(roots)
+
+
+def profile_payload(stats: Mapping[tuple[str, ...], PathStats], *,
+                    max_depth: int | None = None) -> dict[str, Any]:
+    """The ``profile --json`` object: one row per span path.
+
+    Rows keep tree order (first visit); ``path`` is the ``/``-joined
+    span-name chain, ``depth`` its zero-based nesting level.
+    """
+    rows = []
+    for s in stats.values():
+        if max_depth is not None and s.depth > max_depth:
+            continue
+        row = {f.name: getattr(s, f.name) for f in fields(PathStats)}
+        row["path"] = s.key
+        row["depth"] = s.depth
+        rows.append(row)
+    return {
+        "schema": PROFILE_SCHEMA_NAME,
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "paths": rows,
+    }
+
+
+def profile_fingerprint() -> str:
+    """SHA-256 over the ``profile --json`` key layout (names only).
+
+    Derived from the :class:`PathStats` fields the rows are built
+    from, so a new statistic cannot drift past the frozen hash —
+    pinned by a test, bump :data:`PROFILE_SCHEMA_VERSION` to change.
+    """
+    layout = {
+        "schema": PROFILE_SCHEMA_NAME,
+        "schema_version": PROFILE_SCHEMA_VERSION,
+        "payload": ["paths", "schema", "schema_version"],
+        "path_fields": sorted([f.name for f in fields(PathStats)]
+                              + ["depth"]),
+    }
+    canonical = json.dumps(layout, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def _fmt_ms(seconds: float) -> str:

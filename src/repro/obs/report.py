@@ -13,9 +13,33 @@ unit lifecycle tallies, the top-k slowest spans, and the spans whose
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Any, Iterable, Mapping
 
-__all__ = ["summarize", "render_summary", "format_manifest"]
+__all__ = ["summarize", "render_summary", "format_manifest",
+           "summary_payload", "summary_fingerprint",
+           "SUMMARY_SCHEMA_NAME", "SUMMARY_SCHEMA_VERSION"]
+
+SUMMARY_SCHEMA_NAME = "repro.obs/summary"
+SUMMARY_SCHEMA_VERSION = 1
+
+#: The frozen key layout of ``summary --json`` (the repro.bench
+#: artifact discipline): top-level payload keys, the summarize() keys,
+#: and the keys of every nested fixed-shape entry.  A new key is a
+#: deliberate schema bump, never a drive-by.
+_PAYLOAD_KEYS = ("schema", "schema_version", "manifest", "partial_tail",
+                 "summary")
+_SUMMARY_KEYS = ("spans", "unclosed", "pids", "wall_s", "phases",
+                 "counters", "gauges", "histograms", "lifecycle", "cache",
+                 "slowest")
+_PHASE_KEYS = ("count", "total_s", "max_s", "errors", "cpu_s",
+               "peak_rss_kb", "mean_s")
+_GAUGE_KEYS = ("first", "last", "min", "max", "count")
+_HISTOGRAM_KEYS = ("count", "mean", "min", "p50", "max")
+_CACHE_KEYS = ("hits", "misses", "rate")
+_SLOWEST_KEYS = ("label", "dur_s", "pid", "status")
+_UNCLOSED_KEYS = ("name", "span_id", "pid", "ts", "attrs")
 
 
 def _span_label(span: Mapping[str, Any]) -> str:
@@ -133,6 +157,42 @@ def summarize(events: Iterable[Mapping[str, Any]], *,
                      "pid": s["pid"], "status": s["status"]}
                     for s in slowest],
     }
+
+
+def summary_payload(manifest: Mapping[str, Any] | None,
+                    summary: Mapping[str, Any], *,
+                    partial_tail: bool = False) -> dict[str, Any]:
+    """The ``summary --json`` object: provenance + the full aggregate."""
+    return {
+        "schema": SUMMARY_SCHEMA_NAME,
+        "schema_version": SUMMARY_SCHEMA_VERSION,
+        "manifest": None if manifest is None else dict(manifest),
+        "partial_tail": partial_tail,
+        "summary": dict(summary),
+    }
+
+
+def summary_fingerprint() -> str:
+    """SHA-256 over the ``summary --json`` key layout (names, not values).
+
+    Pinned by a test, mirroring the trace/bench schema discipline: any
+    shape change fails loudly and forces a deliberate
+    :data:`SUMMARY_SCHEMA_VERSION` bump.
+    """
+    layout = {
+        "schema": SUMMARY_SCHEMA_NAME,
+        "schema_version": SUMMARY_SCHEMA_VERSION,
+        "payload": sorted(_PAYLOAD_KEYS),
+        "summary": sorted(_SUMMARY_KEYS),
+        "phase": sorted(_PHASE_KEYS),
+        "gauge": sorted(_GAUGE_KEYS),
+        "histogram": sorted(_HISTOGRAM_KEYS),
+        "cache": sorted(_CACHE_KEYS),
+        "slowest": sorted(_SLOWEST_KEYS),
+        "unclosed": sorted(_UNCLOSED_KEYS),
+    }
+    canonical = json.dumps(layout, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def format_manifest(manifest: Mapping[str, Any] | None) -> str:

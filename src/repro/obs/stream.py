@@ -1,0 +1,333 @@
+"""Incremental trace following: read a JSONL trace *while it is written*.
+
+:class:`TraceFollower` is the tail-with-offset half of live
+monitoring: each :meth:`~TraceFollower.poll` reads whatever complete
+lines landed since the last poll and returns them as validated event
+dicts.  The offset contract is strict — the follower's byte offset
+always points at the start of an unconsumed line:
+
+* only **newline-terminated** lines are consumed; an unterminated tail
+  (a concurrent appender torn mid-``os.write`` — cannot happen with the
+  O_APPEND JSONL sink, but the follower does not assume its writer) is
+  left in the file and re-read on the next poll, so no record is ever
+  split or skipped;
+* a file that **shrinks** below the offset was truncated or rotated:
+  the follower restarts from byte 0 (and counts the restart);
+* a file that does not exist yet simply yields nothing — the follower
+  may be attached before the writer's first write.
+
+Terminated-but-malformed lines are counted in :attr:`malformed` and
+skipped rather than raised: a live dashboard must survive a corrupt
+line that the post-hoc :func:`repro.obs.events.read_trace` would
+report as a located error.
+
+Multi-pid awareness is inherited from the trace format itself — every
+record carries its writer's ``pid``, and forked engine workers append
+to the same file through the shared O_APPEND descriptor — so one
+follower sees the whole process tree's events interleaved in commit
+order.  :class:`LiveAggregator` folds that stream into the rolling
+state a dashboard renders: per-pid open-span stacks, windowed counter
+rates, campaign unit progress (done/total, cache hits, ETA), and
+per-unit heartbeat ages (see :mod:`repro.obs.heartbeat`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.obs.events import parse_trace_line
+
+__all__ = ["TraceFollower", "LiveAggregator", "DEFAULT_RATE_WINDOW"]
+
+#: Seconds of trailing events that feed counter/throughput rates.
+DEFAULT_RATE_WINDOW = 10.0
+
+
+class TraceFollower:
+    """Tail a JSONL trace incrementally, torn-line tolerant.
+
+    Parameters
+    ----------
+    path:
+        The trace file (may not exist yet).
+    validate:
+        Schema-validate each line (default).  ``False`` trusts the
+        writer and only requires JSON-decodable lines — slightly
+        cheaper on very chatty traces.
+    """
+
+    def __init__(self, path: str | Path, *, validate: bool = True) -> None:
+        self.path = Path(path)
+        self.validate = validate
+        #: Byte offset of the first unconsumed line.
+        self.offset = 0
+        #: The trace manifest, once its line has been seen.
+        self.manifest: dict[str, Any] | None = None
+        #: Terminated lines that failed to parse/validate (skipped).
+        self.malformed = 0
+        #: Times the file shrank under us (truncate/rotate restarts).
+        self.restarts = 0
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Return every complete event appended since the last poll."""
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            return []
+        if size < self.offset:
+            self.offset = 0
+            self.manifest = None
+            self.restarts += 1
+        if size == self.offset:
+            return []
+        with open(self.path, "rb") as handle:
+            handle.seek(self.offset)
+            data = handle.read()
+        end = data.rfind(b"\n")
+        if end < 0:
+            return []  # only a torn tail so far; leave it for later
+        consumed = data[:end + 1]
+        self.offset += end + 1
+        events: list[dict[str, Any]] = []
+        for raw in consumed.split(b"\n"):
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line:
+                continue
+            try:
+                event = parse_trace_line(line) if self.validate \
+                    else json.loads(line)
+            except ValueError:
+                self.malformed += 1
+                continue
+            if event.get("kind") == "manifest":
+                self.manifest = event
+                continue
+            events.append(event)
+        return events
+
+    def read_all(self) -> list[dict[str, Any]]:
+        """Drain the file from the current offset to EOF (one poll)."""
+        return self.poll()
+
+
+def _rate(marks: Iterable[tuple[float, float]], now: float,
+          window: float) -> float:
+    """Sum of values whose timestamp falls in ``[now - window, now]``,
+    per second."""
+    total = sum(value for ts, value in marks if ts >= now - window)
+    return total / window
+
+
+class _UnitState:
+    """Live view of one campaign work unit."""
+
+    __slots__ = ("label", "key", "status", "first_ts", "last_ts",
+                 "last_heartbeat", "heartbeat_interval")
+
+    def __init__(self, label: str, key: str | None) -> None:
+        self.label = label
+        self.key = key
+        self.status = "planned"
+        self.first_ts: float | None = None
+        self.last_ts: float | None = None
+        self.last_heartbeat: float | None = None
+        self.heartbeat_interval: float | None = None
+
+
+#: Lifecycle statuses that mean "this unit is finished".
+_DONE_STATUSES = ("cached", "checkpointed")
+#: Statuses that mean "a worker should currently be heartbeating".
+_ACTIVE_STATUSES = ("leased", "running")
+
+
+class LiveAggregator:
+    """Fold a trace event stream into rolling dashboard state.
+
+    Feed it :meth:`ingest` batches from a :class:`TraceFollower` (or
+    any event iterable) and read :meth:`snapshot` — a plain dict with
+    everything :func:`repro.obs.live.render_dashboard` draws:
+
+    ``pids``
+        Per-pid open-span stacks (name, attrs, age) in nesting order.
+    ``counters``
+        Totals plus a windowed per-second rate for every counter.
+    ``campaign``
+        ``done``/``total``/``cached``/``computed``/``running``,
+        cache-hit rate, and a rolling-rate ETA over pending units
+        (the :class:`repro.obs.progress.CampaignProgress` math, driven
+        by event timestamps instead of wall clock).
+    ``units``
+        Per-unit status and heartbeat age; a unit in a leased/running
+        state whose last heartbeat is older than ``stale_after`` (or
+        3x its advertised beat interval) is flagged ``stale`` — the
+        live signature of a killed or wedged worker.
+    """
+
+    def __init__(self, *, rate_window: float = DEFAULT_RATE_WINDOW,
+                 stale_after: float | None = None,
+                 eta_window: int = 8,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.rate_window = rate_window
+        self.stale_after = stale_after
+        self.clock = clock
+        self.events_seen = 0
+        self.spans_closed = 0
+        self.errors = 0
+        self._open: dict[str, dict[str, Any]] = {}
+        self._stacks: dict[int, list[str]] = {}
+        self._counters: dict[str, float] = {}
+        self._counter_marks: dict[str, deque[tuple[float, float]]] = {}
+        self._units: dict[str, _UnitState] = {}
+        self._eta_marks: deque[float] = deque(maxlen=max(2, eta_window))
+        self._last_event_ts: float | None = None
+
+    # -- ingestion ----------------------------------------------------
+
+    def ingest(self, events: Iterable[Mapping[str, Any]]) -> None:
+        for ev in events:
+            self.events_seen += 1
+            ts = ev.get("ts")
+            if isinstance(ts, (int, float)):
+                self._last_event_ts = max(self._last_event_ts or ts, ts)
+            kind = ev.get("kind")
+            if kind == "span_start":
+                self._open[ev["span_id"]] = dict(ev)
+                self._stacks.setdefault(ev["pid"], []).append(ev["span_id"])
+            elif kind == "span":
+                self.spans_closed += 1
+                if ev.get("status") == "error":
+                    self.errors += 1
+                self._open.pop(ev["span_id"], None)
+                stack = self._stacks.get(ev["pid"])
+                if stack and ev["span_id"] in stack:
+                    stack.remove(ev["span_id"])
+            elif kind == "metric" and ev.get("metric") == "counter":
+                name, value = ev["name"], ev["value"]
+                self._counters[name] = self._counters.get(name, 0.0) + value
+                marks = self._counter_marks.setdefault(name, deque())
+                marks.append((ev["ts"], value))
+                # Marks older than the rate window can never contribute
+                # again; prune so a long campaign's memory stays flat.
+                cutoff = ev["ts"] - self.rate_window
+                while marks and marks[0][0] < cutoff:
+                    marks.popleft()
+            elif kind == "event":
+                self._ingest_event(ev)
+
+    def _ingest_event(self, ev: Mapping[str, Any]) -> None:
+        attrs = ev.get("attrs", {})
+        label = attrs.get("label")
+        if ev["name"] == "campaign.unit" and label:
+            unit = self._units.setdefault(
+                label, _UnitState(label, attrs.get("key")))
+            status = ev.get("status", "ok")
+            unit.status = status
+            unit.last_ts = ev["ts"]
+            if unit.first_ts is None:
+                unit.first_ts = ev["ts"]
+            if status == "running":
+                # Starting to run counts as a beat: a unit that dies
+                # instantly still shows one, and its age starts honest.
+                unit.last_heartbeat = ev["ts"]
+            if status == "checkpointed":
+                self._eta_marks.append(ev["ts"])
+        elif ev["name"] == "campaign.heartbeat" and label:
+            unit = self._units.setdefault(
+                label, _UnitState(label, attrs.get("key")))
+            unit.last_heartbeat = ev["ts"]
+            interval = attrs.get("interval")
+            if isinstance(interval, (int, float)):
+                unit.heartbeat_interval = float(interval)
+
+    # -- derived state ------------------------------------------------
+
+    def _now(self) -> float:
+        return self.clock()
+
+    def eta_seconds(self, remaining: int) -> float | None:
+        """Rolling-rate ETA over *remaining* pending units."""
+        if remaining <= 0:
+            return 0.0
+        if len(self._eta_marks) < 2:
+            return None
+        elapsed = self._eta_marks[-1] - self._eta_marks[0]
+        if elapsed <= 0:
+            return None
+        rate = (len(self._eta_marks) - 1) / elapsed
+        return remaining / rate
+
+    def _unit_row(self, unit: _UnitState, now: float) -> dict[str, Any]:
+        age = None if unit.last_heartbeat is None \
+            else max(0.0, now - unit.last_heartbeat)
+        threshold = self.stale_after
+        if threshold is None:
+            beat = unit.heartbeat_interval
+            threshold = max(3.0 * beat, 2.0) if beat else None
+        stale = (unit.status in _ACTIVE_STATUSES and age is not None
+                 and threshold is not None and age > threshold)
+        return {"label": unit.label, "key": unit.key,
+                "status": unit.status, "heartbeat_age_s": age,
+                "stale": stale}
+
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """Everything the dashboard draws, as one plain dict."""
+        now = self._now() if now is None else now
+        pids = {}
+        for pid, stack in sorted(self._stacks.items()):
+            frames = []
+            for span_id in stack:
+                ev = self._open.get(span_id)
+                if ev is None:
+                    continue
+                frames.append({"name": ev["name"],
+                               "attrs": dict(ev.get("attrs", {})),
+                               "age_s": max(0.0, now - ev["ts"])})
+            if frames:
+                pids[pid] = frames
+
+        counters = {}
+        for name, total in sorted(self._counters.items()):
+            marks = self._counter_marks.get(name, ())
+            counters[name] = {
+                "total": total,
+                "rate": _rate(marks, now, self.rate_window),
+            }
+
+        units = [self._unit_row(u, now) for u in self._units.values()]
+        done = sum(1 for u in units if u["status"] in _DONE_STATUSES)
+        cached = sum(1 for u in units if u["status"] == "cached")
+        running = [u for u in units if u["status"] in _ACTIVE_STATUSES]
+        stale = [u for u in units if u["stale"]]
+        total = len(units)
+        campaign = {
+            "total": total,
+            "done": done,
+            "cached": cached,
+            "computed": done - cached,
+            "running": len(running),
+            "stale": len(stale),
+            "hit_rate": cached / done if done else None,
+            "eta_s": self.eta_seconds(total - done) if total else None,
+        }
+        return {
+            "now": now,
+            "last_event_ts": self._last_event_ts,
+            "events": self.events_seen,
+            "open_spans": len(self._open),
+            "spans": self.spans_closed,
+            "errors": self.errors,
+            "pids": pids,
+            "counters": counters,
+            "campaign": campaign,
+            "units": units,
+        }
+
+    @property
+    def idle(self) -> bool:
+        """No span is currently open (between runs, or run finished)."""
+        return not self._open

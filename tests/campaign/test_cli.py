@@ -83,6 +83,53 @@ class TestCampaignCli:
         assert "jobs" not in unit.spec
 
 
+class TestWatch:
+    def test_watch_writes_a_trace_with_heartbeats(self, tmp_path, capsys):
+        from repro.obs.cli import main as obs_main
+        from repro.obs.events import read_trace
+
+        results = tmp_path / "r"
+        assert campaign_main(["run", "E1", "--results-dir", str(results),
+                              "--scale", "quick", "--watch"]) == 0
+        frames = capsys.readouterr().err
+        assert "campaign [" in frames  # the dashboard painted
+        trace = results / "trace.jsonl"
+        assert trace.exists()  # --watch implies --trace into the store
+        assert obs_main(["validate", str(trace)]) == 0
+        _, events = read_trace(trace)
+        beats = [e for e in events if e.get("kind") == "event"
+                 and e["name"] == "campaign.heartbeat"]
+        assert beats and beats[0]["attrs"]["label"] == "E1"
+        statuses = [e["status"] for e in events if e.get("kind") == "event"
+                    and e["name"] == "campaign.unit"]
+        assert statuses == ["planned", "leased", "running", "checkpointed"]
+
+    def test_watch_respects_an_explicit_trace_path(self, tmp_path, capsys):
+        results, trace = tmp_path / "r", tmp_path / "elsewhere.jsonl"
+        assert campaign_main(["run", "E1", "--results-dir", str(results),
+                              "--scale", "quick", "--watch",
+                              "--trace", str(trace)]) == 0
+        assert trace.exists()
+        assert not (results / "trace.jsonl").exists()
+
+    def test_watched_results_bit_identical_to_unwatched(self, tmp_path,
+                                                        capsys):
+        from repro.campaign.plan import plan_experiments
+        from repro.campaign.store import ResultStore
+        from repro.experiments.common import ExperimentConfig
+
+        plain, watched = tmp_path / "plain", tmp_path / "watched"
+        assert campaign_main(["run", "E1", "--results-dir", str(plain),
+                              "--scale", "quick", "--quiet"]) == 0
+        assert campaign_main(["run", "E1", "--results-dir", str(watched),
+                              "--scale", "quick", "--watch"]) == 0
+        plan = plan_experiments(["E1"], ExperimentConfig(scale="quick"))
+        for unit in plan:
+            a = ResultStore(plain).get(unit.key)["result"]
+            b = ResultStore(watched).get(unit.key)["result"]
+            assert a == b
+
+
 class TestRunnerCampaignFlags:
     def test_results_dir_caches(self, tmp_path, capsys):
         results = str(tmp_path / "r")

@@ -1,0 +1,153 @@
+"""The ``--json`` payloads of ``summary`` and ``profile``.
+
+Frozen-fingerprint discipline, mirroring the trace/bench schemas: the
+pinned hashes fail loudly on any shape change, and the layout
+constants the hashes are built from are cross-checked against the keys
+the implementations actually emit — a constant that drifts from
+reality would otherwise freeze the wrong shape.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.obs import report as report_mod
+from repro.obs.cli import main
+from repro.obs.profile import (
+    PROFILE_SCHEMA_VERSION,
+    profile_fingerprint,
+    profile_payload,
+    profile_trace,
+)
+from repro.obs.report import (
+    SUMMARY_SCHEMA_VERSION,
+    summarize,
+    summary_fingerprint,
+    summary_payload,
+)
+from repro.obs.sinks import JsonlSink
+
+#: Pinned layout hashes.  If one of these fails you changed the shape
+#: of a ``--json`` payload: bump its SCHEMA_VERSION and update the pin.
+FROZEN_SUMMARY_V1 = \
+    "89e10c7d315c16bb6efcf5553825532ac47cede95dcc13f21c10ced0dcd96b9d"
+FROZEN_PROFILE_V1 = \
+    "a9b4ded01193a80fbf06b7809a610d4a358971be7f3a50b0a6932471d903d9b4"
+
+
+def _write_trace(path):
+    sink = JsonlSink(path, argv=["prog"])
+    previous = obs.configure(sink)
+    try:
+        with obs.span("outer", label="E1"):
+            with obs.span("inner"):
+                obs.counter("campaign.cache.hit")
+            obs.gauge("depth", 0.5)
+            obs.histogram("h", 1.0)
+        obs.event("campaign.unit", status="cached", label="E1")
+    finally:
+        obs.configure(previous if previous.live else None)
+        sink.close()
+
+
+class TestFrozenFingerprints:
+    def test_summary_fingerprint_is_pinned(self):
+        assert SUMMARY_SCHEMA_VERSION == 1
+        assert summary_fingerprint() == FROZEN_SUMMARY_V1
+
+    def test_profile_fingerprint_is_pinned(self):
+        assert PROFILE_SCHEMA_VERSION == 1
+        assert profile_fingerprint() == FROZEN_PROFILE_V1
+
+    def test_summary_layout_constants_match_reality(self, tmp_path):
+        """The frozen constants describe what summarize() emits."""
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace)
+        manifest, events = obs.read_trace(trace)
+        s = summarize(events)
+        payload = summary_payload(manifest, s)
+        assert sorted(payload) == sorted(report_mod._PAYLOAD_KEYS)
+        assert sorted(s) == sorted(report_mod._SUMMARY_KEYS)
+        phase = next(iter(s["phases"].values()))
+        assert sorted(phase) == sorted(report_mod._PHASE_KEYS)
+        gauge = next(iter(s["gauges"].values()))
+        assert sorted(gauge) == sorted(report_mod._GAUGE_KEYS)
+        hist = next(iter(s["histograms"].values()))
+        assert sorted(hist) == sorted(report_mod._HISTOGRAM_KEYS)
+        assert sorted(s["cache"]) == sorted(report_mod._CACHE_KEYS)
+        slowest = s["slowest"][0]
+        assert sorted(slowest) == sorted(report_mod._SLOWEST_KEYS)
+
+    def test_unclosed_layout_constant_matches_reality(self):
+        start = {"kind": "span_start", "name": "doomed", "span_id": "1.9",
+                 "parent_id": None, "pid": 1, "ts": 5.0, "attrs": {}}
+        [unclosed] = summarize([start])["unclosed"]
+        assert sorted(unclosed) == sorted(report_mod._UNCLOSED_KEYS)
+
+    def test_profile_rows_match_the_fingerprinted_fields(self, tmp_path):
+        from dataclasses import fields
+
+        from repro.obs.profile import PathStats
+
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace)
+        _, stats = profile_trace(trace)
+        payload = profile_payload(stats)
+        expected = sorted([f.name for f in fields(PathStats)] + ["depth"])
+        for row in payload["paths"]:
+            assert sorted(row) == expected
+
+
+class TestSummaryJsonCli:
+    def test_payload_shape_and_content(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace)
+        assert main(["summary", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.obs/summary"
+        assert payload["schema_version"] == 1
+        assert payload["manifest"]["argv"] == ["prog"]
+        assert payload["partial_tail"] is False
+        assert payload["summary"]["spans"] == 2
+        assert payload["summary"]["cache"]["hits"] == 1
+
+    def test_partial_tail_is_reported(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace)
+        with open(trace, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "metr')  # torn mid-append
+        assert main(["summary", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["partial_tail"] is True
+        assert payload["summary"]["spans"] == 2  # records before the tear
+
+    def test_text_summary_mentions_the_tear(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace)
+        with open(trace, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "metr')
+        assert main(["summary", str(trace)]) == 0
+        assert "torn final line" in capsys.readouterr().out
+
+
+class TestProfileJsonCli:
+    def test_payload_rows_in_tree_order(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace)
+        assert main(["profile", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema"] == "repro.obs/profile"
+        paths = [row["path"] for row in payload["paths"]]
+        assert paths == ["outer", "outer/inner"]
+        assert [row["depth"] for row in payload["paths"]] == [0, 1]
+        outer = payload["paths"][0]
+        assert outer["count"] == 1
+        assert outer["total_s"] >= outer["self_s"] >= 0
+
+    def test_depth_filter_applies(self, tmp_path, capsys):
+        trace = tmp_path / "t.jsonl"
+        _write_trace(trace)
+        assert main(["profile", str(trace), "--json", "--depth", "0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [row["path"] for row in payload["paths"]] == ["outer"]

@@ -31,7 +31,7 @@ class TestDisabledPath:
         obs.gauge("g", 1.0)
         obs.histogram("h", 2.0)
         obs.event("e")
-        assert sink.events == []
+        assert list(sink.events) == []
 
 
 def _spans(sink):
