@@ -39,8 +39,36 @@ Campaigns
     experiment campaigns against the content-addressed result store in
     :mod:`repro.campaign`: completed work units are fetched instead of
     recomputed, killed runs resume, and ``run_sweep(store=...)`` makes
-    parameter sweeps incremental the same way.
+    parameter sweeps incremental the same way.  From Python:
+    :func:`plan_experiments` / :func:`plan_sweep` -> :func:`run_campaign`
+    against a :class:`ResultStore`.
+Service
+    The same campaigns over HTTP: ``run --serve`` turns a store into a
+    campaign service, ``run --worker URL`` joins it, and
+    :class:`~repro.service.ServiceClient` gives Python callers the
+    submit / status / lease / results verbs (:mod:`repro.service`).
+Observability
+    :mod:`repro.obs` — spans, events, counters, JSONL traces, live
+    dashboards — is re-exported here as :data:`obs`; the blessed entry
+    points are ``obs.span`` / ``obs.event`` / ``obs.configure``.
+
+The names in ``__all__`` are the supported public surface, pinned by
+``tests/test_public_api.py``; everything else is internal and may move
+without notice.
 """
+
+from repro import obs
+from repro.analysis.sweep import parameter_grid, run_sweep
+from repro.campaign import (
+    CampaignPlan,
+    CampaignReport,
+    ResultStore,
+    WorkUnit,
+    plan_experiments,
+    plan_sweep,
+    run_campaign,
+)
+from repro.service import ServiceClient, run_worker
 
 from repro.core import (
     FloodingResult,
@@ -137,4 +165,16 @@ __all__ = [
     "edge_ladder",
     "edge_upper_bound",
     "edge_lower_bound",
+    "obs",
+    "parameter_grid",
+    "run_sweep",
+    "CampaignPlan",
+    "CampaignReport",
+    "ResultStore",
+    "WorkUnit",
+    "plan_experiments",
+    "plan_sweep",
+    "run_campaign",
+    "ServiceClient",
+    "run_worker",
 ]

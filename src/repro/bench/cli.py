@@ -115,6 +115,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "(same suite; several files -> trend)")
     report.add_argument("--case", default=None, metavar="GLOB",
                         help="restrict the trend canvas to matching cases")
+    report.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable: the loaded artifacts "
+                             "(schema-versioned), one object per file")
 
     history = sub.add_parser(
         "history", help="append-only perf history + longitudinal "
@@ -142,6 +145,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "current machine's; 'all' mixes machines)")
     trend.add_argument("--limit", type=int, default=None,
                        help="only the most recent N runs per case")
+    trend.add_argument("--json", action="store_true", dest="as_json",
+                       help="machine-readable per-case series instead of "
+                            "sparklines")
 
     check = hsub.add_parser(
         "check", help="rolling-median + MAD drift gate: fail cases "
@@ -172,6 +178,8 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print just the suite names, one per "
                                   "line (what CI iterates over, so a "
                                   "new suite is gated automatically)")
+    list_parser.add_argument("--json", action="store_true", dest="as_json",
+                             help="machine-readable case rows")
     return parser
 
 
@@ -267,6 +275,11 @@ def _print_failure_diff(case_name: str, baseline_trace_dir: Path | None,
 
 def _cmd_report(args: argparse.Namespace) -> int:
     results = [load_result(path) for path in args.results]
+    if args.as_json:
+        import json
+        print(json.dumps([json.loads(result.to_json())
+                          for result in results], sort_keys=True))
+        return 0
     print(render_report(results, pattern=args.case))
     return 0
 
@@ -305,6 +318,21 @@ def _cmd_history_trend(args: argparse.Namespace) -> int:
     else:
         mid = machine_id(machine_fingerprint())
     with HistoryStore(args.db) as store:
+        if args.as_json:
+            import fnmatch
+            import json
+
+            names = store.case_names(args.suite)
+            if args.case is not None:
+                names = [n for n in names
+                         if fnmatch.fnmatch(n, args.case)]
+            series = {name: store.series(args.suite, name, machine_id=mid,
+                                         limit=args.limit)
+                      for name in names}
+            print(json.dumps({"suite": args.suite, "machine": mid,
+                              "series": series}, sort_keys=True,
+                             default=str))
+            return 0
         print(render_trend(store, args.suite, machine_id=mid,
                            pattern=args.case, limit=args.limit))
     return 0
@@ -360,6 +388,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
                 "rounds": case.rounds if case.rounds is not None
                 else "auto",
             })
+    if args.as_json:
+        import json
+        print(json.dumps({"suites": list(suite_names()), "cases": rows},
+                         sort_keys=True))
+        return 0
     print(render_table(rows))
     print(f"{len(rows)} cases in {len(suite_names())} suites")
     return 0

@@ -1,0 +1,146 @@
+"""Pluggable SQL backends for the campaign store index and job queue.
+
+The :class:`StoreBackend` contract is deliberately small — *open a
+migrated database, hand out transactions* — so the store, the job
+queue, and the HTTP service all speak to the same interface and a
+concurrent backend (client/server SQL, a hosted queue) can drop in
+without touching them.
+
+Contract
+--------
+* :meth:`~StoreBackend.transaction` yields a DB-API connection inside
+  one transaction: commit on clean exit, rollback on exception.  With
+  ``immediate=True`` the write lock is taken *up front*, so
+  read-modify-write sequences (the queue's lease claim) are atomic
+  against every other writer.
+* The backend applies the migration chain
+  (:mod:`repro.campaign.migrations`) before the first transaction and
+  reports the result via :meth:`~StoreBackend.schema_version`.
+* Backends must be **multi-process safe**: many readers and writers on
+  the same database, from different processes, at once.  Blocking
+  briefly is fine; corrupting or erroring on contention is not.
+* Backends must be cheap to construct and hold no state a ``fork``
+  could corrupt — worker processes build their own instance from
+  :attr:`~StoreBackend.location`.
+
+:class:`SqliteWalBackend` is the first concurrent implementation:
+WAL-mode SQLite with a busy timeout.  WAL gives snapshot-isolated
+readers that never block the single writer; the busy timeout makes
+writer contention a wait, not an error.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator
+
+from repro.campaign.migrations import SCHEMA_VERSION, apply_migrations
+from repro.util.validation import require
+
+__all__ = ["StoreBackend", "SqliteWalBackend", "open_backend",
+           "DEFAULT_BUSY_TIMEOUT_S", "SCHEMA_VERSION"]
+
+#: How long a writer waits on a locked database before failing.  Large
+#: enough to ride out another process's checkpoint burst; finite so a
+#: genuinely wedged holder surfaces as an error instead of a hang.
+DEFAULT_BUSY_TIMEOUT_S = 30.0
+
+
+class StoreBackend(ABC):
+    """Where the store index and job queue keep their tables."""
+
+    #: URL-ish scheme naming the implementation (diagnostics only).
+    scheme: str = "abstract"
+
+    @property
+    @abstractmethod
+    def location(self) -> str:
+        """A string a *different process* can reopen the backend from."""
+
+    @abstractmethod
+    @contextmanager
+    def transaction(self, *, immediate: bool = False
+                    ) -> Iterator[sqlite3.Connection]:
+        """One transaction: commit on exit, rollback on exception.
+
+        ``immediate=True`` acquires the write lock before yielding, so
+        the caller's read-then-update sequence cannot interleave with
+        another writer's.
+        """
+
+    @abstractmethod
+    def schema_version(self) -> int:
+        """The migration version the open database is at."""
+
+    def close(self) -> None:
+        """Release held resources (per-transaction backends hold none)."""
+
+
+class SqliteWalBackend(StoreBackend):
+    """SQLite in WAL mode with a busy timeout — the concurrent default.
+
+    Connections are opened per transaction (never shared across
+    threads, never inherited over ``fork``), which keeps the backend
+    safe inside both the threaded HTTP service and forked campaign
+    workers.  WAL mode is a property of the database file, set once at
+    open; the busy timeout is per connection.
+    """
+
+    scheme = "sqlite+wal"
+
+    def __init__(self, path: str | Path, *,
+                 busy_timeout_s: float = DEFAULT_BUSY_TIMEOUT_S) -> None:
+        require(busy_timeout_s > 0, "busy_timeout_s must be > 0")
+        self.path = Path(path)
+        self.busy_timeout_s = float(busy_timeout_s)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as connection:
+            # WAL persists in the file; an existing rollback-journal
+            # store is converted in place on first open.
+            connection.execute("PRAGMA journal_mode=WAL")
+            apply_migrations(connection)
+            connection.commit()
+
+    @property
+    def location(self) -> str:
+        return str(self.path)
+
+    def _connect(self) -> sqlite3.Connection:
+        connection = sqlite3.connect(self.path, timeout=self.busy_timeout_s)
+        connection.execute(
+            f"PRAGMA busy_timeout = {int(self.busy_timeout_s * 1000)}")
+        return connection
+
+    @contextmanager
+    def transaction(self, *, immediate: bool = False
+                    ) -> Iterator[sqlite3.Connection]:
+        connection = self._connect()
+        try:
+            if immediate:
+                connection.execute("BEGIN IMMEDIATE")
+            yield connection
+            connection.commit()
+        except BaseException:
+            connection.rollback()
+            raise
+        finally:
+            connection.close()
+
+    def schema_version(self) -> int:
+        with self.transaction() as db:
+            return int(db.execute("PRAGMA user_version").fetchone()[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics
+        return f"SqliteWalBackend({str(self.path)!r})"
+
+
+def open_backend(location: str | Path) -> StoreBackend:
+    """Open the backend for *location* (today: always SQLite-WAL).
+
+    The single seam a second implementation plugs into; callers that
+    persist ``backend.location`` can reopen it here from any process.
+    """
+    return SqliteWalBackend(location)

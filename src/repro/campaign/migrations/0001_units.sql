@@ -1,0 +1,16 @@
+-- 0001: the content-addressed result index.
+--
+-- This is byte-for-byte the schema ResultStore created before the
+-- migration chain existed, so opening a pre-chain store applies this
+-- migration as a no-op and keeps every indexed row.  Migrations are
+-- append-only and must stay re-runnable (IF NOT EXISTS discipline): a
+-- crash between a migration script and its user_version bump replays
+-- the script on the next open.
+
+CREATE TABLE IF NOT EXISTS units (
+    key        TEXT PRIMARY KEY,
+    kind       TEXT NOT NULL,
+    label      TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    elapsed    REAL
+);

@@ -1,0 +1,43 @@
+-- 0002: the worker-pull job queue beside the result index.
+--
+-- A campaign submission upserts one `campaigns` row and one `jobs` row
+-- per work unit.  Jobs move pending -> leased -> done | failed; an
+-- expired lease makes the job claimable again (the store's bit-for-bit
+-- resume discipline makes the retry exact), so a SIGKILLed worker
+-- never strands a unit.  `spec` is the canonical JSON the content
+-- address hashes; `payload` is the codec-encoded execution recipe
+-- ('json' for experiment units — the only codec served over HTTP —
+-- 'pickle' for local sweep closures).
+
+CREATE TABLE IF NOT EXISTS campaigns (
+    campaign_id       TEXT PRIMARY KEY,
+    name              TEXT NOT NULL DEFAULT '',
+    source            TEXT NOT NULL DEFAULT 'local',
+    units             INTEGER NOT NULL,
+    submitted_at      REAL NOT NULL,
+    last_submitted_at REAL NOT NULL
+);
+
+CREATE TABLE IF NOT EXISTS jobs (
+    campaign_id   TEXT NOT NULL,
+    key           TEXT NOT NULL,
+    label         TEXT NOT NULL DEFAULT '',
+    kind          TEXT NOT NULL,
+    spec          TEXT NOT NULL,
+    payload       TEXT,
+    codec         TEXT NOT NULL DEFAULT 'json'
+                  CHECK (codec IN ('json', 'pickle')),
+    state         TEXT NOT NULL DEFAULT 'pending'
+                  CHECK (state IN ('pending', 'leased', 'done', 'failed')),
+    cached        INTEGER NOT NULL DEFAULT 0,
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    worker        TEXT,
+    lease_expires REAL,
+    error         TEXT,
+    submitted_at  REAL NOT NULL,
+    updated_at    REAL NOT NULL,
+    PRIMARY KEY (campaign_id, key)
+);
+
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, lease_expires);
+CREATE INDEX IF NOT EXISTS jobs_by_key ON jobs (key);

@@ -1,21 +1,34 @@
-"""Campaign execution: diff the plan against the store, run what's left.
+"""Campaign execution: the scheduler as a client of the job queue.
 
-``run_campaign`` is the single entry point.  It
+``run_campaign`` is the single entry point.  With a store it
 
 1. reconciles the store's index against its object files (healing any
    crash between an object publish and its index insert),
-2. diffs the plan's content-addressed keys against the store — units
-   already present are **fetched, never recomputed** (unless *force*),
-3. dispatches the pending units across worker processes through the
-   engine's :func:`repro.engine.executor.fan_out_chunks`, and
-4. checkpoints each completed unit into the store *as it lands*, so a
+2. **submits** the plan to the store's job queue
+   (:class:`repro.campaign.jobs.JobQueue`) — submission diffs the
+   plan's content-addressed keys against the store, so units already
+   present are marked done (cached) and are **fetched, never
+   recomputed** (unless *force*),
+3. runs local pull workers over the queue — in this process when one
+   worker suffices, forked worker processes otherwise — through
+   exactly the same :func:`repro.service.worker.run_worker` loop that
+   remote ``--worker URL`` processes use against the HTTP service, and
+4. collects results as workers checkpoint them into the store, so a
    campaign killed mid-flight resumes by recomputing only the missing
    keys — and, by the replay seed contract, reproduces the
    uninterrupted results bit-for-bit.
 
-Workers return their results already JSON-encoded; cached and freshly
-computed units therefore flow through exactly the same codec, which is
-what makes warm and cold campaign outputs byte-comparable.
+Local fan-out is therefore nothing special: the scheduler is one queue
+client among many, and a forked worker here is indistinguishable from
+a pull worker on another machine (modulo payload codec — only
+JSON-codec units ever leave the machine).  Workers return their
+results already JSON-encoded; cached and freshly computed units
+therefore flow through exactly the same codec, which is what makes
+warm and cold campaign outputs byte-comparable.
+
+Without a store there is nothing to lease against; the plan fans out
+through the engine's :func:`repro.engine.executor.fan_out_chunks` as a
+transient (non-persistent, non-resumable) run.
 """
 
 from __future__ import annotations
@@ -35,20 +48,31 @@ from repro.obs import resources
 from repro.obs.heartbeat import unit_heartbeat
 from repro.analysis.records import rows_to_json
 from repro.analysis.sweep import SweepPoint
+from repro.campaign.jobs import (DEFAULT_LEASE_TTL, JobQueue,
+                                 LocalQueueClient)
 from repro.campaign.plan import CampaignPlan, WorkUnit
+from repro.campaign.schema import MANIFEST_SCHEMA, MANIFEST_SCHEMA_VERSION
 from repro.campaign.store import ResultStore
-from repro.engine.executor import fan_out_chunks
+from repro.engine.executor import default_jobs, fan_out_chunks
 from repro.experiments.common import ExperimentConfig
 from repro.experiments.registry import load_experiment
 from repro.util.logging import get_logger
 from repro.util.validation import require
 
-__all__ = ["run_campaign", "execute_unit", "CampaignReport"]
+__all__ = ["run_campaign", "execute_unit", "CampaignReport", "CampaignError"]
 
 _log = get_logger("campaign.scheduler")
 
 #: progress callback signature: (done_so_far, total, unit, cached?)
 ProgressFn = Callable[[int, int, WorkUnit, bool], None]
+
+#: Seconds the parent monitor sleeps between polls of the queue while
+#: forked workers drain it.
+_MONITOR_POLL_S = 0.05
+
+
+class CampaignError(RuntimeError):
+    """One or more units failed (or went missing) during a campaign."""
 
 
 @dataclass
@@ -58,7 +82,9 @@ class CampaignReport:
     ``results`` maps unit key -> the deterministic result section
     (JSON-decodable dict), in no particular order; use the plan for
     ordering.  ``fetched`` keys were served from the store, ``computed``
-    keys ran; their union covers the whole plan.
+    keys ran; their union covers the whole plan.  ``campaign_id`` is
+    the queue's content address for the plan (empty for transient,
+    store-less runs).
     """
 
     plan: CampaignPlan
@@ -66,6 +92,7 @@ class CampaignReport:
     fetched: list[str] = field(default_factory=list)
     computed: list[str] = field(default_factory=list)
     elapsed: float = 0.0
+    campaign_id: str = ""
     unit_elapsed: dict[str, float] = field(default_factory=dict)
     #: unit key -> the executing process's resource usage for that unit
     #: ({"cpu_s", "peak_rss_kb", ...} — see repro.obs.resources); for
@@ -150,11 +177,16 @@ def write_manifest(store: ResultStore, report: CampaignReport) -> Path:
     seconds / peak RSS of the executing process), and — when the run
     was traced — the path of the telemetry trace, so a results
     directory carries everything needed to interpret its own timings.
+    The payload shape is versioned: see
+    :mod:`repro.campaign.schema` (``MANIFEST_FIELDS``), pinned by the
+    frozen schema fingerprint test.
     """
     from repro.obs.events import machine_fingerprint
 
     trace = obs.trace_path()
     manifest = {
+        "schema": MANIFEST_SCHEMA,
+        "schema_version": MANIFEST_SCHEMA_VERSION,
         "written_at": time.time(),
         "git_rev": _git_rev(),
         "python": sys.version.split()[0],
@@ -162,6 +194,7 @@ def write_manifest(store: ResultStore, report: CampaignReport) -> Path:
         "elapsed": report.elapsed,
         "machine": machine_fingerprint(),
         "trace": None if trace is None else str(trace),
+        "campaign_id": report.campaign_id,
         "units": {
             "total": report.total,
             "fetched": len(report.fetched),
@@ -188,6 +221,195 @@ def write_manifest(store: ResultStore, report: CampaignReport) -> Path:
     return path
 
 
+def _pull_worker_main(root: str, campaign_id: str, lease_ttl: float) -> None:
+    """Entry point of one forked local pull worker.
+
+    Opens its own store handle (per-transaction connections: nothing
+    SQLite crosses the fork) and drains the campaign through the shared
+    worker loop.  Under the fork start method the obs sinks and the
+    current span context are inherited, so a forked worker's unit spans
+    parent into the campaign trace exactly like in-process ones.
+    """
+    from repro.service.worker import run_worker
+
+    store = ResultStore(root)
+    run_worker(LocalQueueClient(store), campaign_id=campaign_id,
+               lease_ttl=lease_ttl)
+
+
+def _run_transient(plan: CampaignPlan, report: CampaignReport,
+                   jobs: int | None, progress: ProgressFn | None) -> None:
+    """The store-less path: nothing to lease against, nothing cached —
+    fan the payloads straight out through the engine."""
+    done = 0
+    pending = list(plan)
+    for unit in pending:
+        obs.event("campaign.unit", status="planned", label=unit.label,
+                  key=unit.key)
+
+    def checkpoint(index: int, outcome: dict[str, Any]) -> None:
+        nonlocal done
+        unit = pending[index]
+        report.results[unit.key] = outcome["result"]
+        report.computed.append(unit.key)
+        report.unit_elapsed[unit.key] = outcome["elapsed"]
+        if outcome.get("resources"):
+            report.unit_resources[unit.key] = dict(outcome["resources"])
+        obs.counter("campaign.cache.miss")
+        obs.event("campaign.unit", status="checkpointed",
+                  label=unit.label, key=unit.key)
+        obs.histogram("campaign.unit_elapsed_s", outcome["elapsed"],
+                      label=unit.label)
+        done += 1
+        if progress is not None:
+            progress(done, len(plan), unit, False)
+
+    payloads = []
+    for unit in pending:
+        payload = dict(unit.payload)
+        payload["_obs"] = {"label": unit.label, "key": unit.key}
+        payloads.append(payload)
+        obs.event("campaign.unit", status="leased", label=unit.label,
+                  key=unit.key)
+    fan_out_chunks(execute_unit, payloads, jobs, on_result=checkpoint)
+
+
+def _run_queued(plan: CampaignPlan, store: ResultStore,
+                report: CampaignReport, *, jobs: int | None, force: bool,
+                progress: ProgressFn | None, lease_ttl: float) -> None:
+    """The store path: submit to the queue, serve cached, pull the rest."""
+    from repro.service.worker import run_worker
+
+    store.reconcile()
+    queue = JobQueue(store.backend)
+    pending = plan.pending(store, force=force)
+    pending_keys = {unit.key for unit in pending}
+    receipt = queue.submit(plan, store, source="scheduler", force=force)
+    report.campaign_id = receipt.campaign_id
+    done = 0
+
+    for unit in plan:
+        if unit.key in pending_keys:
+            continue
+        payload = store.get(unit.key)
+        require(payload is not None,
+                f"store lost {unit.label} ({unit.key[:12]}) mid-campaign")
+        report.results[unit.key] = payload["result"]
+        report.fetched.append(unit.key)
+        obs.counter("campaign.cache.hit")
+        obs.event("campaign.unit", status="cached", label=unit.label,
+                  key=unit.key)
+        meta = payload.get("meta", {})
+        if meta.get("elapsed") is not None:
+            report.unit_elapsed[unit.key] = meta["elapsed"]
+        if meta.get("resources"):
+            report.unit_resources[unit.key] = dict(meta["resources"])
+        done += 1
+        if progress is not None:
+            progress(done, len(plan), unit, True)
+
+    by_key = {unit.key: unit for unit in pending}
+    collected: set[str] = set()
+
+    def collect(key: str) -> bool:
+        """Pull one completed unit's result out of the store (idempotent)."""
+        nonlocal done
+        if key in collected or key not in by_key:
+            return False
+        payload = store.get(key)
+        if payload is None:
+            return False
+        collected.add(key)
+        unit = by_key[key]
+        report.results[key] = payload["result"]
+        report.computed.append(key)
+        meta = payload.get("meta", {})
+        if meta.get("elapsed") is not None:
+            report.unit_elapsed[key] = meta["elapsed"]
+        if meta.get("resources"):
+            report.unit_resources[key] = dict(meta["resources"])
+        done += 1
+        if progress is not None:
+            progress(done, len(plan), unit, False)
+        return True
+
+    if pending:
+        workers = max(1, min(jobs if jobs is not None else default_jobs(),
+                             len(pending)))
+        _log.debug("campaign %s: %d/%d units pending across %d worker(s)",
+                   receipt.campaign_id, len(pending), len(plan), workers)
+        with obs.span("campaign.dispatch", campaign=receipt.campaign_id,
+                      pending=len(pending), workers=workers):
+            if workers == 1:
+                run_worker(LocalQueueClient(store, queue),
+                           campaign_id=receipt.campaign_id,
+                           lease_ttl=lease_ttl,
+                           on_unit=lambda job, ok: ok and collect(job.key))
+            else:
+                _drain_with_processes(store, queue, receipt.campaign_id,
+                                      workers, lease_ttl, collect)
+
+    # Late sweep: anything completed by racing clients between the
+    # pending diff and the worker drain.
+    for job in queue.jobs(receipt.campaign_id, state="done"):
+        collect(job.key)
+
+    failed = [job for job in queue.jobs(receipt.campaign_id, state="failed")
+              if job.key in pending_keys]
+    if failed:
+        lines = "; ".join(f"{job.label} ({job.key[:12]}): {job.error}"
+                          for job in failed)
+        raise CampaignError(
+            f"{len(failed)} unit(s) failed in campaign "
+            f"{receipt.campaign_id}: {lines}")
+    missing = pending_keys - collected
+    require(not missing,
+            f"campaign {receipt.campaign_id} drained but "
+            f"{len(missing)} unit result(s) never reached the store")
+
+
+def _drain_with_processes(store: ResultStore, queue: JobQueue,
+                          campaign_id: str, workers: int, lease_ttl: float,
+                          collect: Callable[[str], bool]) -> None:
+    """Fork *workers* pull workers and monitor the queue until drained.
+
+    The parent never executes units; it polls for completions (feeding
+    the report and progress callbacks), reaps expired leases so dead
+    workers surface promptly, and fails loudly if every worker dies
+    with work still on the queue.
+    """
+    from repro.engine.executor import _pool_context
+
+    ctx = _pool_context()
+    procs = [ctx.Process(target=_pull_worker_main,
+                         args=(str(store.root), campaign_id, lease_ttl),
+                         daemon=True)
+             for _ in range(workers)]
+    for proc in procs:
+        proc.start()
+    try:
+        while True:
+            for job in queue.jobs(campaign_id, state="done"):
+                collect(job.key)
+            if queue.drained(campaign_id):
+                break
+            queue.reap()
+            if not any(proc.is_alive() for proc in procs):
+                if queue.drained(campaign_id):
+                    break
+                raise CampaignError(
+                    f"all {workers} local workers exited with campaign "
+                    f"{campaign_id} undrained")
+            time.sleep(_MONITOR_POLL_S)
+        for proc in procs:
+            proc.join(timeout=2 * lease_ttl)
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+
+
 def run_campaign(
     plan: CampaignPlan,
     store: ResultStore | None = None,
@@ -195,6 +417,7 @@ def run_campaign(
     jobs: int | None = None,
     force: bool = False,
     progress: ProgressFn | None = None,
+    lease_ttl: float = DEFAULT_LEASE_TTL,
 ) -> CampaignReport:
     """Execute *plan*, fetching cached units from *store*.
 
@@ -203,88 +426,34 @@ def run_campaign(
     plan:
         The expanded campaign (see :mod:`repro.campaign.plan`).
     store:
-        Result store to fetch from / checkpoint into; ``None`` runs
-        everything without persistence (still parallel).
+        Result store to fetch from / checkpoint into; its job queue
+        carries the pending units.  ``None`` runs everything without
+        persistence (still parallel, but transient: no queue, no
+        resume).
     jobs:
-        Worker processes for pending units (``None``: one per CPU,
-        via the engine's fan-out; ``1`` forces in-process execution).
+        Local pull workers for pending units (``None``: one per CPU;
+        ``1`` forces in-process execution).
     force:
         Recompute every unit even when cached; fresh results overwrite
         the stored ones.
     progress:
         Optional ``progress(done, total, unit, cached)`` callback,
         invoked once per unit as its result becomes available.
+    lease_ttl:
+        Seconds a worker's job lease lives between heartbeats (see
+        :mod:`repro.campaign.jobs`).
     """
     require(jobs is None or int(jobs) >= 1, "jobs must be >= 1")
+    require(lease_ttl > 0, "lease_ttl must be > 0")
     start = time.perf_counter()
     report = CampaignReport(plan=plan)
     with obs.span("campaign.run", units=len(plan), force=force,
                   jobs=jobs or 0, persistent=store is not None) as sp:
-        if store is not None:
-            store.reconcile()
-        done = 0
-
-        pending = plan.pending(store, force=force)
-        pending_keys = {unit.key for unit in pending}
-        for unit in pending:
-            obs.event("campaign.unit", status="planned", label=unit.label,
-                      key=unit.key)
-        for unit in plan:
-            if unit.key in pending_keys:
-                continue
-            payload = store.get(unit.key)
-            require(payload is not None,
-                    f"store lost {unit.label} ({unit.key[:12]}) mid-campaign")
-            report.results[unit.key] = payload["result"]
-            report.fetched.append(unit.key)
-            obs.counter("campaign.cache.hit")
-            obs.event("campaign.unit", status="cached", label=unit.label,
-                      key=unit.key)
-            meta = payload.get("meta", {})
-            if meta.get("elapsed") is not None:
-                report.unit_elapsed[unit.key] = meta["elapsed"]
-            if meta.get("resources"):
-                report.unit_resources[unit.key] = dict(meta["resources"])
-            done += 1
-            if progress is not None:
-                progress(done, len(plan), unit, True)
-
-        def checkpoint(index: int, outcome: dict[str, Any]) -> None:
-            nonlocal done
-            unit = pending[index]
-            unit_res = outcome.get("resources")
-            if store is not None:
-                store.put(unit.spec, outcome["result"], label=unit.label,
-                          elapsed=outcome["elapsed"], resources=unit_res)
-            report.results[unit.key] = outcome["result"]
-            report.computed.append(unit.key)
-            report.unit_elapsed[unit.key] = outcome["elapsed"]
-            if unit_res:
-                report.unit_resources[unit.key] = dict(unit_res)
-            obs.counter("campaign.cache.miss")
-            obs.event("campaign.unit", status="checkpointed",
-                      label=unit.label, key=unit.key)
-            obs.histogram("campaign.unit_elapsed_s", outcome["elapsed"],
-                          label=unit.label)
-            _log.debug("checkpointed %s (%s) in %.3fs", unit.label,
-                       unit.key[:12], outcome["elapsed"])
-            done += 1
-            if progress is not None:
-                progress(done, len(plan), unit, False)
-
-        if pending:
-            _log.debug("campaign: %d/%d units pending", len(pending),
-                       len(plan))
-            payloads = []
-            for unit in pending:
-                payload = dict(unit.payload)
-                payload["_obs"] = {"label": unit.label, "key": unit.key}
-                payloads.append(payload)
-                obs.event("campaign.unit", status="leased", label=unit.label,
-                          key=unit.key)
-            fan_out_chunks(execute_unit, payloads, jobs,
-                           on_result=checkpoint)
-
+        if store is None:
+            _run_transient(plan, report, jobs, progress)
+        else:
+            _run_queued(plan, store, report, jobs=jobs, force=force,
+                        progress=progress, lease_ttl=lease_ttl)
         report.elapsed = time.perf_counter() - start
         sp.set(fetched=len(report.fetched), computed=len(report.computed))
         if store is not None:

@@ -18,7 +18,14 @@ campaign simply recomputes whatever keys are absent.
 Keys are content addresses: the SHA-256 of the canonical JSON encoding
 of a work unit's *spec* (see :mod:`repro.campaign.plan` for what goes
 into a spec).  Identical work is therefore fetched, never recomputed,
-no matter which CLI, sweep, or scheduler produced it first.
+no matter which CLI, sweep, scheduler, or HTTP service produced it
+first.
+
+The index lives behind a :class:`~repro.campaign.backend.StoreBackend`
+(default: WAL-mode SQLite with a busy timeout), schema-managed by the
+versioned migration chain in :mod:`repro.campaign.migrations`, so many
+reader and writer processes — campaign schedulers, pull workers, the
+HTTP service's request threads — can hit one store at once.
 """
 
 from __future__ import annotations
@@ -35,22 +42,13 @@ from typing import Any, Iterator, Mapping
 
 from repro import obs
 from repro.analysis.records import _jsonable
+from repro.campaign.backend import StoreBackend, open_backend
 from repro.util.logging import get_logger
 from repro.util.validation import require
 
 __all__ = ["ResultStore", "canonical_json", "unit_key"]
 
 _log = get_logger("campaign.store")
-
-_SCHEMA = """
-CREATE TABLE IF NOT EXISTS units (
-    key        TEXT PRIMARY KEY,
-    kind       TEXT NOT NULL,
-    label      TEXT NOT NULL,
-    created_at REAL NOT NULL,
-    elapsed    REAL
-)
-"""
 
 
 def _canonical_value(value: Any) -> Any:
@@ -85,28 +83,31 @@ class ResultStore:
     ----------
     root:
         The results directory (created on first use).
+    backend:
+        The SQL backend holding the index (and the job queue's tables);
+        defaults to :class:`~repro.campaign.backend.SqliteWalBackend`
+        over ``root/index.sqlite``.  Opening applies the migration
+        chain, so stores written by older builds upgrade in place.
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *,
+                 backend: StoreBackend | None = None) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.objects_dir = self.root / "objects"
         self.objects_dir.mkdir(exist_ok=True)
         self._index_path = self.root / "index.sqlite"
-        with self._db():
-            pass  # create the schema eagerly so empty stores are valid
+        # Opening the backend migrates eagerly: empty stores are valid,
+        # and pre-chain stores upgrade before the first query.
+        self.backend = backend if backend is not None \
+            else open_backend(self._index_path)
 
     # -- low-level plumbing -------------------------------------------------
 
     @contextmanager
     def _db(self) -> Iterator[sqlite3.Connection]:
-        connection = sqlite3.connect(self._index_path)
-        try:
-            connection.execute(_SCHEMA)
+        with self.backend.transaction() as connection:
             yield connection
-            connection.commit()
-        finally:
-            connection.close()
 
     def object_path(self, key: str) -> Path:
         """Where the payload object for *key* lives (two-level fan-out)."""

@@ -53,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("trace", type=Path, help="JSONL trace file")
     report.add_argument("--top", type=int, default=10,
                         help="how many slowest spans to list")
+    report.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable aggregate (the same "
+                             "schema-fingerprinted summarize() payload as "
+                             "'summary --json', with the report's --top)")
 
     summary = sub.add_parser("summary", help="headline numbers only")
     summary.add_argument("trace", type=Path)
@@ -94,6 +98,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="the current (after / suspect) trace")
     diff.add_argument("--top", type=int, default=15,
                       help="how many paths to list")
+    diff.add_argument("--json", action="store_true", dest="as_json",
+                      help="machine-readable ranked path deltas")
 
     validate = sub.add_parser("validate",
                               help="schema-check a trace (exit 1 on the "
@@ -103,8 +109,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    manifest, events = read_trace(args.trace)
-    print(render_summary(manifest, summarize(events, top=args.top)))
+    read = read_trace(args.trace)
+    manifest, events = read
+    summary = summarize(events, top=args.top)
+    if args.as_json:
+        import json
+
+        from repro.obs.report import summary_payload
+        print(json.dumps(summary_payload(manifest, summary,
+                                         partial_tail=read.partial_tail),
+                         sort_keys=True))
+        return 0
+    print(render_summary(manifest, summary))
     return 0
 
 
@@ -166,6 +182,20 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     from repro.obs.diff import diff_traces, render_diff
 
     diff = diff_traces(args.trace_a, args.trace_b)
+    if args.as_json:
+        import json
+
+        deltas = [{"path": delta.key, "status": delta.status,
+                   "self_delta_s": delta.self_delta_s,
+                   "total_delta_s": delta.total_delta_s,
+                   "cpu_delta_s": delta.cpu_delta_s,
+                   "rss_delta_kb": delta.rss_delta_kb,
+                   "ratio": delta.ratio}
+                  for delta in diff.ranked[:args.top]]
+        print(json.dumps({"a": str(args.trace_a), "b": str(args.trace_b),
+                          "total_delta_s": diff.total_delta_s,
+                          "deltas": deltas}, sort_keys=True))
+        return 0
     print(f"A: {args.trace_a}\nB: {args.trace_b}")
     print(render_diff(diff, top=args.top))
     return 0

@@ -34,11 +34,14 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 from repro.obs import trace as _trace
+from repro.util.logging import get_logger
 
 __all__ = ["HEARTBEAT_INTERVAL", "unit_heartbeat", "Heartbeat"]
+
+_log = get_logger("obs.heartbeat")
 
 #: Default seconds between beats.  Chosen so quick units (milliseconds)
 #: still record one beat — the first fires immediately — while long
@@ -52,17 +55,36 @@ class Heartbeat:
     The emitting thread is a daemon: if the process is killed the
     thread simply dies, which is the point — the *absence* of beats is
     the failure signal.
+
+    *on_beat*, when given, is called on every beat *in addition to* the
+    trace event — the hook the job queue's lease renewal rides on
+    (:mod:`repro.service.worker`).  Unlike the trace event it must fire
+    even when tracing is disabled (a lease expires regardless), so
+    hook-bearing heartbeats always run their thread.  Hook exceptions
+    are logged and swallowed: one failed renewal (a network blip, a
+    busy database) must not stop the beat — the *lease holder* decides
+    what to do when renewal keeps failing, not the timer.
     """
 
     def __init__(self, name: str = "campaign.heartbeat", *,
-                 interval: float = HEARTBEAT_INTERVAL, **attrs) -> None:
+                 interval: float = HEARTBEAT_INTERVAL,
+                 on_beat: Callable[[], object] | None = None,
+                 **attrs) -> None:
         self.name = name
         self.interval = float(interval)
+        self.on_beat = on_beat
         self.attrs = attrs
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
 
     def _beat(self) -> None:
+        if self.on_beat is not None:
+            try:
+                self.on_beat()
+            except Exception:
+                _log.warning("heartbeat hook failed for %s",
+                             self.attrs.get("label", self.name),
+                             exc_info=True)
         _trace.event(self.name, interval=self.interval, **self.attrs)
 
     def _run(self) -> None:

@@ -1,0 +1,33 @@
+"""The campaign service: HTTP API, Python client, and the pull worker.
+
+Three pieces, one protocol:
+
+* :mod:`repro.service.api` — a stdlib ``ThreadingHTTPServer`` exposing
+  submit / status / lease / heartbeat / complete / fail / results over
+  JSON, backed by the store's job queue;
+* :mod:`repro.service.client` — :class:`ServiceClient`, the same verbs
+  for Python callers (and for remote workers);
+* :mod:`repro.service.worker` — :func:`run_worker`, the pull loop that
+  drives either a local queue or an HTTP client through one code path.
+
+See DESIGN.md ("The campaign service") for the lease state machine and
+the endpoint table.
+"""
+
+from repro.service.api import (CampaignService, ServiceServer, serve,
+                               DEFAULT_HOST, DEFAULT_PORT)
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.worker import QueueAPI, WorkerStats, run_worker
+
+__all__ = [
+    "CampaignService",
+    "ServiceServer",
+    "serve",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "ServiceClient",
+    "ServiceError",
+    "QueueAPI",
+    "WorkerStats",
+    "run_worker",
+]

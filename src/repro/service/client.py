@@ -1,0 +1,210 @@
+"""Python client for the campaign service (urllib, no dependencies).
+
+:class:`ServiceClient` speaks the JSON protocol of
+:mod:`repro.service.api` and exposes two faces:
+
+* the **caller verbs** — :meth:`submit_plan`, :meth:`status`,
+  :meth:`fetch_result`, :meth:`wait` — for scripts that submit work
+  and collect results, and
+* the **worker verbs** — ``lease`` / ``heartbeat`` / ``complete`` /
+  ``fail`` / ``drained`` — the same :class:`~repro.service.worker.QueueAPI`
+  surface as :class:`~repro.campaign.jobs.LocalQueueClient`, so
+  :func:`repro.service.worker.run_worker` drives an HTTP queue and a
+  local SQLite queue through identical code.
+
+Transient transport failures on the *renewal* path are the lease
+holder's problem by design (a missed heartbeat just shortens the
+lease); everything else raises :class:`ServiceError` with the server's
+error envelope attached.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping, Sequence
+
+from repro.campaign.jobs import DEFAULT_LEASE_TTL, Job
+from repro.campaign.plan import CampaignPlan
+from repro.service.api import job_from_wire
+from repro.util.logging import get_logger
+from repro.util.validation import require
+
+__all__ = ["ServiceClient", "ServiceError", "DEFAULT_TIMEOUT_S"]
+
+_log = get_logger("service.client")
+
+#: Per-request socket timeout.  Lease/complete calls are quick — the
+#: *unit execution* happens between requests, never inside one.
+DEFAULT_TIMEOUT_S = 30.0
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx service response (carries status + server message)."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServiceClient:
+    """One campaign service endpoint, e.g. ``http://127.0.0.1:8642``."""
+
+    def __init__(self, base_url: str, *,
+                 timeout: float = DEFAULT_TIMEOUT_S) -> None:
+        require(base_url.startswith(("http://", "https://")),
+                f"service URL must be http(s), got {base_url!r}")
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ----------------------------------------------------------
+
+    def _request(self, method: str, path: str,
+                 body: Mapping[str, Any] | None = None
+                 ) -> tuple[int, dict[str, Any]]:
+        url = f"{self.base_url}{path}"
+        data = None if body is None else json.dumps(
+            body, default=str).encode("utf-8")
+        request = urllib.request.Request(
+            url, data=data, method=method,
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                raw = response.read()
+                status = response.status
+        except urllib.error.HTTPError as exc:
+            raw = exc.read()
+            status = exc.code
+        if status == 204:
+            return status, {}
+        try:
+            payload = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(status,
+                               f"non-JSON response from {url}") from exc
+        if status >= 400:
+            raise ServiceError(status, str(payload.get("error", raw[:200])))
+        return status, payload
+
+    # -- caller verbs -------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        return self._request("GET", "/v1/health")[1]
+
+    def submit_plan(self, plan: CampaignPlan | Sequence[Any], *,
+                    name: str = "", source: str = "client",
+                    force: bool = False) -> dict[str, Any]:
+        """Submit a plan's units; returns the campaign receipt.
+
+        Only JSON-expressible payloads can travel (experiment units);
+        a plan holding pickle-only payloads (sweep closures) must run
+        locally and is rejected here, before any bytes move.
+        """
+        units = []
+        for unit in plan:
+            payload = None if unit.payload is None else dict(unit.payload)
+            if payload is not None:
+                try:
+                    json.dumps(payload)
+                except TypeError:
+                    raise ValueError(
+                        f"unit {unit.label!r} has a non-JSON payload "
+                        "(sweep closures are local-only); run it with "
+                        "run_campaign instead") from None
+            units.append({"spec": dict(unit.spec), "payload": payload,
+                          "label": unit.label, "key": unit.key})
+        return self._request("POST", "/v1/campaigns", {
+            "units": units, "name": name, "source": source,
+            "force": force})[1]
+
+    def campaigns(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/v1/campaigns")[1]["campaigns"]
+
+    def status(self, campaign_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/v1/campaigns/{campaign_id}")[1]
+
+    def fetch_result(self, key: str) -> dict[str, Any] | None:
+        """The full stored payload for *key*, or ``None`` if absent."""
+        try:
+            return self._request("GET", f"/v1/results/{key}")[1]["unit"]
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def unit(self, key: str) -> dict[str, Any] | None:
+        try:
+            return self._request("GET", f"/v1/units/{key}")[1]
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+
+    def wait(self, campaign_id: str, *, timeout: float = 300.0,
+             poll: float = 0.2) -> dict[str, Any]:
+        """Block until the campaign has nothing pending or leased.
+
+        Returns the final status payload; raises ``TimeoutError`` if
+        the campaign is still moving when *timeout* elapses.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(campaign_id)
+            counts = status["counts"]
+            if counts["pending"] == 0 and counts["leased"] == 0:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"campaign {campaign_id} still has "
+                    f"{counts['pending']} pending / {counts['leased']} "
+                    f"leased unit(s) after {timeout:.0f}s")
+            time.sleep(poll)
+
+    # -- worker verbs (the QueueAPI surface) --------------------------------
+
+    def lease(self, worker: str, *, campaign_id: str | None = None,
+              ttl: float = DEFAULT_LEASE_TTL) -> Job | None:
+        path = "/v1/lease" if campaign_id is None \
+            else f"/v1/campaigns/{campaign_id}/lease"
+        status, payload = self._request("POST", path,
+                                        {"worker": worker, "ttl": ttl})
+        if status == 204:
+            return None
+        return job_from_wire(payload["job"])
+
+    def heartbeat(self, campaign_id: str, key: str, worker: str, *,
+                  ttl: float = DEFAULT_LEASE_TTL) -> bool:
+        try:
+            return bool(self._request(
+                "POST", f"/v1/campaigns/{campaign_id}/heartbeat",
+                {"worker": worker, "key": key, "ttl": ttl})[1].get("ok"))
+        except (ServiceError, urllib.error.URLError, OSError) as exc:
+            # A failed renewal is not fatal — the lease just isn't
+            # extended this beat (see module docstring).
+            _log.warning("heartbeat for %s failed: %s", key[:12], exc)
+            return False
+
+    def complete(self, campaign_id: str, key: str, worker: str, *,
+                 spec: Mapping[str, Any], result: Mapping[str, Any],
+                 label: str = "", elapsed: float | None = None,
+                 resources: Mapping[str, float] | None = None) -> bool:
+        return bool(self._request(
+            "POST", f"/v1/campaigns/{campaign_id}/complete",
+            {"worker": worker, "key": key, "spec": dict(spec),
+             "result": dict(result), "label": label, "elapsed": elapsed,
+             "resources": None if resources is None else dict(resources)},
+        )[1].get("ok"))
+
+    def fail(self, campaign_id: str, key: str, worker: str,
+             error: str) -> bool:
+        return bool(self._request(
+            "POST", f"/v1/campaigns/{campaign_id}/fail",
+            {"worker": worker, "key": key, "error": error})[1].get("ok"))
+
+    def drained(self, campaign_id: str | None = None) -> bool:
+        path = "/v1/drained" if campaign_id is None \
+            else f"/v1/campaigns/{campaign_id}/drained"
+        return bool(self._request("GET", path)[1].get("drained"))

@@ -1,0 +1,36 @@
+"""Process exit codes, defined once for every ``python -m repro.*`` CLI.
+
+The contract (pinned by ``tests/test_cli_conventions.py`` and
+documented in DESIGN.md):
+
+``OK`` (0)
+    The command did what was asked — including "nothing to do" cases
+    like an empty report or a fully cached campaign.
+``FAILURE`` (1)
+    The command ran but the *outcome* is bad: a unit failed or is
+    missing from the store, a verdict came back inconsistent, a
+    validation found violations, a regression gate tripped.
+``CONFIG`` (2)
+    The *invocation* is bad: unknown flags or subcommands, missing
+    required arguments, malformed values.  This matches what argparse
+    already exits with, so scripts can rely on ``2`` meaning "fix the
+    command line, not the code".
+
+Shared conventions that ride along with the codes: every read
+subcommand takes ``--json`` for a machine-readable payload on stdout,
+and every store-touching command spells its store flag
+``--results-dir``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["OK", "FAILURE", "CONFIG"]
+
+#: Success (including successful no-ops).
+OK = 0
+
+#: The command ran; what it found or produced is a failure.
+FAILURE = 1
+
+#: Bad invocation (argparse's own exit code for usage errors).
+CONFIG = 2

@@ -1,0 +1,131 @@
+"""StoreBackend contract: WAL mode, busy timeout, migration chain."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.campaign.backend import (DEFAULT_BUSY_TIMEOUT_S, SqliteWalBackend,
+                                    open_backend)
+from repro.campaign.migrations import (SCHEMA_VERSION, apply_migrations,
+                                       chain_fingerprint, migration_files)
+from repro.campaign.store import ResultStore
+
+
+class TestSqliteWalBackend:
+    def test_opens_in_wal_mode(self, tmp_path):
+        backend = SqliteWalBackend(tmp_path / "index.sqlite")
+        with backend.transaction() as db:
+            (mode,) = db.execute("PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+
+    def test_schema_version_is_current(self, tmp_path):
+        backend = SqliteWalBackend(tmp_path / "index.sqlite")
+        assert backend.schema_version() == SCHEMA_VERSION
+
+    def test_transactions_commit(self, tmp_path):
+        backend = SqliteWalBackend(tmp_path / "index.sqlite")
+        with backend.transaction() as db:
+            db.execute("INSERT INTO units VALUES ('k', 'x', 'l', 0.0, NULL)")
+        with backend.transaction() as db:
+            rows = db.execute("SELECT key FROM units").fetchall()
+        assert rows == [("k",)]
+
+    def test_transactions_roll_back_on_error(self, tmp_path):
+        backend = SqliteWalBackend(tmp_path / "index.sqlite")
+        with pytest.raises(RuntimeError):
+            with backend.transaction() as db:
+                db.execute(
+                    "INSERT INTO units VALUES ('k', 'x', 'l', 0.0, NULL)")
+                raise RuntimeError("boom")
+        with backend.transaction() as db:
+            assert db.execute("SELECT COUNT(*) FROM units").fetchone()[0] == 0
+
+    def test_busy_timeout_is_set_per_connection(self, tmp_path):
+        backend = SqliteWalBackend(tmp_path / "index.sqlite",
+                                   busy_timeout_s=1.5)
+        with backend.transaction() as db:
+            (ms,) = db.execute("PRAGMA busy_timeout").fetchone()
+        assert ms == 1500
+
+    def test_default_busy_timeout_rides_out_contention(self, tmp_path):
+        assert DEFAULT_BUSY_TIMEOUT_S >= 5.0
+
+    def test_immediate_blocks_second_writer(self, tmp_path):
+        """A held immediate transaction makes a second writer wait (and
+        fail fast with a tiny timeout) instead of interleaving."""
+        path = tmp_path / "index.sqlite"
+        a = SqliteWalBackend(path)
+        b = SqliteWalBackend(path, busy_timeout_s=0.05)
+        with a.transaction(immediate=True) as db_a:
+            db_a.execute("INSERT INTO units VALUES ('k', 'x', '', 0.0, NULL)")
+            with pytest.raises(sqlite3.OperationalError):
+                with b.transaction(immediate=True):
+                    pass
+
+    def test_location_reopens_elsewhere(self, tmp_path):
+        backend = SqliteWalBackend(tmp_path / "index.sqlite")
+        again = open_backend(backend.location)
+        assert again.schema_version() == SCHEMA_VERSION
+
+
+class TestMigrationChain:
+    def test_chain_is_gapless_and_one_based(self):
+        versions = [version for version, _ in migration_files()]
+        assert versions == list(range(1, len(versions) + 1))
+
+    def test_schema_version_pin(self):
+        # Deliberate bump only: adding migrations/0003_*.sql must come
+        # with a re-pin here.
+        assert SCHEMA_VERSION == 2
+
+    def test_chain_fingerprint_pin(self):
+        # Frozen: editing an APPLIED migration file (instead of
+        # appending a new one) fails this pin — append-only is the
+        # whole policy.
+        assert chain_fingerprint() == (
+            "91eea940937654611819fe9d85fd6f5091"
+            "f2a16814fc0e6718d54e5253d7e2d4")
+
+    def test_migrations_are_rerunnable(self, tmp_path):
+        db = sqlite3.connect(tmp_path / "x.sqlite")
+        assert apply_migrations(db) == SCHEMA_VERSION
+        # A crash between executescript and the user_version bump
+        # replays the script: simulate by rolling the version back.
+        db.execute("PRAGMA user_version = 0")
+        assert apply_migrations(db) == SCHEMA_VERSION
+
+    def test_refuses_newer_store(self, tmp_path):
+        db = sqlite3.connect(tmp_path / "x.sqlite")
+        db.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        with pytest.raises(ValueError, match="newer than this build"):
+            apply_migrations(db)
+
+    def test_legacy_store_upgrades_in_place(self, tmp_path):
+        """A pre-chain store (user_version 0, hand-made units table,
+        rollback journal) opens, keeps its rows, and gains the queue
+        tables."""
+        root = tmp_path / "store"
+        root.mkdir()
+        db = sqlite3.connect(root / "index.sqlite")
+        db.execute("""
+            CREATE TABLE IF NOT EXISTS units (
+                key        TEXT PRIMARY KEY,
+                kind       TEXT NOT NULL,
+                label      TEXT NOT NULL,
+                created_at REAL NOT NULL,
+                elapsed    REAL
+            )""")
+        db.execute("INSERT INTO units VALUES ('old', 'experiment', 'E1', "
+                   "1.0, 2.0)")
+        db.commit()
+        db.close()
+
+        store = ResultStore(root)
+        assert store.backend.schema_version() == SCHEMA_VERSION
+        assert [row["key"] for row in store.rows()] == ["old"]
+        with store.backend.transaction() as conn:
+            tables = {row[0] for row in conn.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'")}
+        assert {"units", "jobs", "campaigns"} <= tables

@@ -67,9 +67,11 @@ class TestCampaignCli:
         with pytest.raises(SystemExit):
             campaign_main(["run", "--results-dir", str(tmp_path / "r")])
 
-    def test_parser_requires_results_dir(self):
-        with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "E1"])
+    def test_run_requires_results_dir_or_worker(self, capsys):
+        # --results-dir became optional (a --worker pull needs none),
+        # but a local run without one is still a usage error.
+        assert campaign_main(["run", "E1"]) == 2
+        assert "--results-dir" in capsys.readouterr().err
 
     def test_parallel_backend_jobs_reach_the_payload(self):
         """--jobs must drive the inner parallel backend, not be dropped."""

@@ -1,0 +1,210 @@
+"""Job queue lease state machine: submit, lease, heartbeat, complete."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign.jobs import (DEFAULT_LEASE_TTL, MAX_ATTEMPTS, JobQueue,
+                                 LocalQueueClient, campaign_id_for)
+from repro.campaign.plan import WorkUnit
+from repro.campaign.store import ResultStore
+
+
+def make_unit(i: int, *, picklable: bool = True) -> WorkUnit:
+    payload = {"x": i}
+    if not picklable:
+        payload = {"x": i, "fn": len}  # a callable forces the pickle codec
+    return WorkUnit(spec={"kind": "test", "i": i}, payload=payload,
+                    label=f"unit-{i}")
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "results")
+
+
+@pytest.fixture
+def queue(store):
+    return JobQueue(store.backend)
+
+
+class TestSubmit:
+    def test_submit_creates_pending_jobs(self, queue, store):
+        units = [make_unit(i) for i in range(3)]
+        receipt = queue.submit(units, store, name="t")
+        assert receipt.total == 3
+        assert receipt.pending == 3
+        assert receipt.cached == 0
+        assert not receipt.complete
+
+    def test_campaign_id_is_order_independent(self):
+        keys = [make_unit(i).key for i in range(3)]
+        assert campaign_id_for(keys) == campaign_id_for(reversed(keys))
+
+    def test_stored_units_submit_as_done_cached(self, queue, store):
+        unit = make_unit(0)
+        store.put(unit.spec, {"answer": 1}, label=unit.label)
+        receipt = queue.submit([unit], store)
+        assert receipt.cached == 1
+        assert receipt.done == 1
+        assert receipt.complete
+
+    def test_resubmit_is_idempotent(self, queue, store):
+        units = [make_unit(i) for i in range(2)]
+        first = queue.submit(units, store)
+        second = queue.submit(units, store)
+        assert first.campaign_id == second.campaign_id
+        assert second.total == 2
+        assert second.pending == 2  # no duplicate rows
+
+    def test_resubmit_flips_computed_rows_to_cached(self, queue, store):
+        """The acceptance criterion: resubmitting a computed campaign
+        reports 100% cache hits."""
+        unit = make_unit(0)
+        receipt = queue.submit([unit], store)
+        cid = receipt.campaign_id
+        job = queue.lease("w1", campaign_id=cid)
+        store.put(unit.spec, {"answer": 1}, label=unit.label)
+        queue.complete(cid, job.key, "w1")
+        assert queue.campaign_status(cid)["counts"]["cached"] == 0
+        again = queue.submit([unit], store)
+        assert again.cached == again.total == 1
+        assert again.complete
+
+    def test_resubmit_recomputes_when_object_vanished(self, queue, store):
+        unit = make_unit(0)
+        store.put(unit.spec, {"answer": 1}, label=unit.label)
+        cid = queue.submit([unit], store).campaign_id
+        store.delete(unit.key)
+        receipt = queue.submit([unit], store)
+        assert receipt.campaign_id == cid
+        assert receipt.pending == 1
+        assert receipt.cached == 0
+
+    def test_force_resets_done_rows(self, queue, store):
+        unit = make_unit(0)
+        store.put(unit.spec, {"answer": 1}, label=unit.label)
+        queue.submit([unit], store)
+        receipt = queue.submit([unit], store, force=True)
+        assert receipt.pending == 1
+
+    def test_empty_campaign_rejected(self, queue, store):
+        with pytest.raises(ValueError):
+            queue.submit([], store)
+
+
+class TestLease:
+    def test_lease_claims_oldest_pending(self, queue, store):
+        units = [make_unit(i) for i in range(2)]
+        cid = queue.submit(units, store).campaign_id
+        job = queue.lease("w1", campaign_id=cid)
+        assert job.state == "leased"
+        assert job.worker == "w1"
+        assert job.attempts == 1
+        assert job.payload == {"x": job.spec["i"]}
+
+    def test_leased_job_not_handed_out_twice(self, queue, store):
+        cid = queue.submit([make_unit(0)], store).campaign_id
+        assert queue.lease("w1", campaign_id=cid) is not None
+        assert queue.lease("w2", campaign_id=cid) is None
+
+    def test_expired_lease_is_reclaimable(self, queue, store):
+        cid = queue.submit([make_unit(0)], store).campaign_id
+        job = queue.lease("w1", campaign_id=cid, ttl=10.0)
+        reclaimed = queue.lease("w2", campaign_id=cid,
+                                now=job.lease_expires + 1.0)
+        assert reclaimed is not None
+        assert reclaimed.worker == "w2"
+        assert reclaimed.attempts == 2
+
+    def test_codec_restriction_skips_pickle_jobs(self, queue, store):
+        cid = queue.submit([make_unit(0, picklable=False)],
+                           store).campaign_id
+        # What the HTTP service passes: remote workers never get pickles.
+        assert queue.lease("w1", campaign_id=cid, codecs=("json",)) is None
+        assert queue.lease("w1", campaign_id=cid) is not None
+
+    def test_retry_budget_exhaustion_fails_job(self, queue, store):
+        cid = queue.submit([make_unit(0)], store).campaign_id
+        now = 1000.0
+        for attempt in range(MAX_ATTEMPTS):
+            job = queue.lease("w1", campaign_id=cid, ttl=1.0, now=now)
+            assert job is not None, f"attempt {attempt}"
+            now = job.lease_expires + 1.0
+        assert queue.lease("w1", campaign_id=cid, now=now) is None
+        (failed,) = queue.jobs(cid, state="failed")
+        assert "retry budget" in failed.error
+
+    def test_scoped_lease_ignores_other_campaigns(self, queue, store):
+        queue.submit([make_unit(0)], store)
+        assert queue.lease("w1", campaign_id="no-such-campaign") is None
+
+
+class TestLifecycle:
+    def test_heartbeat_extends_live_lease(self, queue, store):
+        cid = queue.submit([make_unit(0)], store).campaign_id
+        job = queue.lease("w1", campaign_id=cid)
+        assert queue.heartbeat(cid, job.key, "w1") is True
+        renewed = queue.job(cid, job.key)
+        assert renewed.lease_expires >= job.lease_expires
+
+    def test_heartbeat_reports_lost_lease(self, queue, store):
+        cid = queue.submit([make_unit(0)], store).campaign_id
+        job = queue.lease("w1", campaign_id=cid, ttl=10.0)
+        queue.lease("w2", campaign_id=cid, now=job.lease_expires + 1.0)
+        assert queue.heartbeat(cid, job.key, "w1") is False
+
+    def test_complete_marks_done(self, queue, store):
+        cid = queue.submit([make_unit(0)], store).campaign_id
+        job = queue.lease("w1", campaign_id=cid)
+        assert queue.complete(cid, job.key, "w1") is True
+        assert queue.drained(cid)
+        assert queue.job(cid, job.key).state == "done"
+
+    def test_second_completion_is_a_noop(self, queue, store):
+        cid = queue.submit([make_unit(0)], store).campaign_id
+        job = queue.lease("w1", campaign_id=cid)
+        queue.complete(cid, job.key, "w1")
+        assert queue.complete(cid, job.key, "w2") is False
+
+    def test_fail_records_error(self, queue, store):
+        cid = queue.submit([make_unit(0)], store).campaign_id
+        job = queue.lease("w1", campaign_id=cid)
+        assert queue.fail(cid, job.key, "w1", "boom") is True
+        failed = queue.job(cid, job.key)
+        assert failed.state == "failed"
+        assert failed.error == "boom"
+        assert queue.drained(cid)
+
+    def test_reap_returns_expired_leases_to_pending(self, queue, store):
+        cid = queue.submit([make_unit(0)], store).campaign_id
+        job = queue.lease("w1", campaign_id=cid, ttl=5.0)
+        assert queue.reap(now=job.lease_expires - 1.0) == []
+        (reaped,) = queue.reap(now=job.lease_expires + 1.0)
+        assert reaped.key == job.key
+        assert queue.job(cid, job.key).state == "pending"
+
+
+class TestLocalQueueClient:
+    def test_complete_checkpoints_into_store(self, store):
+        unit = make_unit(0)
+        client = LocalQueueClient(store)
+        cid = client.queue.submit([unit], store).campaign_id
+        job = client.lease("w1", campaign_id=cid)
+        assert client.complete(cid, job.key, "w1", spec=job.spec,
+                               result={"answer": 7}, label=job.label,
+                               elapsed=0.1)
+        assert store.get_result(unit.key) == {"answer": 7}
+        assert client.drained(cid)
+
+    def test_complete_rejects_spec_key_mismatch(self, store):
+        unit = make_unit(0)
+        client = LocalQueueClient(store)
+        cid = client.queue.submit([unit], store).campaign_id
+        job = client.lease("w1", campaign_id=cid)
+        with pytest.raises(ValueError, match="key mismatch"):
+            client.complete(cid, job.key, "w1", spec={"kind": "other"},
+                            result={}, label=job.label)
+
+    def test_default_ttl_is_sane(self):
+        assert DEFAULT_LEASE_TTL == 30.0

@@ -1,0 +1,80 @@
+"""Worker-death recovery: a SIGKILLed worker's lease expires and the
+unit is re-leased, with bit-identical final results."""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+
+from repro.campaign.jobs import JobQueue, LocalQueueClient
+from repro.campaign.plan import plan_experiments
+from repro.campaign.scheduler import run_campaign
+from repro.campaign.store import ResultStore
+from repro.experiments.common import ExperimentConfig
+from repro.service.worker import run_worker
+
+QUICK = ExperimentConfig(scale="quick")
+TTL = 1.5
+
+
+def _lease_and_hang(root: str, campaign_id: str, marker: str) -> None:
+    """Claim one job, report it, then hang (a worker about to die)."""
+    store = ResultStore(root)
+    job = JobQueue(store.backend).lease("doomed", campaign_id=campaign_id,
+                                        ttl=TTL)
+    with open(marker, "w") as handle:
+        handle.write(job.key if job is not None else "")
+    time.sleep(300)
+
+
+class TestSigkillRecovery:
+    def test_killed_workers_unit_is_re_leased_bit_identical(self, tmp_path):
+        plan = plan_experiments(["E1"], QUICK)
+
+        # Reference: the same plan run uninterrupted.
+        reference_store = ResultStore(tmp_path / "reference")
+        run_campaign(plan, reference_store, jobs=1)
+
+        # Victim run: a worker claims the unit, gets SIGKILLed while
+        # holding the lease, and a survivor waits the TTL out.
+        root = tmp_path / "victim"
+        store = ResultStore(root)
+        cid = JobQueue(store.backend).submit(plan, store).campaign_id
+        marker = tmp_path / "leased.marker"
+        ctx = multiprocessing.get_context("fork")
+        doomed = ctx.Process(target=_lease_and_hang,
+                             args=(str(root), cid, str(marker)))
+        doomed.start()
+        deadline = time.monotonic() + 30
+        while not marker.exists() and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert marker.exists(), "doomed worker never leased"
+        leased_key = marker.read_text()
+        assert leased_key, "nothing to lease"
+
+        os.kill(doomed.pid, signal.SIGKILL)  # no heartbeat ever again
+        doomed.join(timeout=10)
+
+        queue = JobQueue(store.backend)
+        held = queue.job(cid, leased_key)
+        assert held.state == "leased" and held.worker == "doomed"
+
+        # The survivor polls, waits out the dead lease, reclaims, runs.
+        stats = run_worker(LocalQueueClient(store), campaign_id=cid,
+                           lease_ttl=TTL, worker="survivor")
+        assert stats.completed == len(plan)
+        done = queue.job(cid, leased_key)
+        assert done.state == "done"
+        assert done.worker == "survivor"
+        assert done.attempts == 2  # doomed's claim + the re-lease
+        assert queue.drained(cid)
+
+        # Bit-identity: the recovered store serves exactly the bytes
+        # the uninterrupted run produced.
+        for unit in plan:
+            recovered = store.get(unit.key)
+            reference = reference_store.get(unit.key)
+            assert recovered["spec"] == reference["spec"]
+            assert recovered["result"] == reference["result"]

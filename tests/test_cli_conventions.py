@@ -1,0 +1,149 @@
+"""Cross-CLI conventions: exit codes and ``--json`` everywhere.
+
+Every ``python -m repro.*`` entry point follows one contract, pinned
+here (and documented in :mod:`repro.util.exitcodes` and DESIGN.md):
+
+* exit ``0`` (OK) on success, ``1`` (FAILURE) when the requested work
+  failed or regressed, ``2`` (CONFIG) for usage errors — the same code
+  argparse itself uses for unparseable arguments;
+* every read-only subcommand accepts ``--json`` and prints exactly one
+  machine-parseable JSON document to stdout.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.bench.cli import main as bench_main
+from repro.bench.results import CaseResult, SuiteResult
+from repro.campaign.cli import main as campaign_main
+from repro.campaign.plan import plan_experiments
+from repro.campaign.scheduler import run_campaign
+from repro.campaign.store import ResultStore
+from repro.experiments.common import ExperimentConfig
+from repro.obs.cli import main as obs_main
+from repro.obs.sinks import JsonlSink
+from repro.util.exitcodes import CONFIG, FAILURE, OK
+
+QUICK = ExperimentConfig(scale="quick")
+
+
+class TestExitCodeContract:
+    def test_pinned_values(self):
+        assert OK == 0
+        assert FAILURE == 1
+        assert CONFIG == 2
+
+    @pytest.mark.parametrize("main,argv", [
+        (campaign_main, ["frobnicate"]),
+        (bench_main, ["frobnicate"]),
+        (obs_main, ["frobnicate"]),
+    ])
+    def test_argparse_usage_errors_exit_config(self, main, argv):
+        with pytest.raises(SystemExit) as exit_info:
+            main(argv)
+        assert exit_info.value.code == CONFIG
+
+    def test_campaign_run_without_results_dir_is_config(self, capsys):
+        assert campaign_main(["run", "E1"]) == CONFIG
+        assert "--results-dir" in capsys.readouterr().err
+
+    def test_worker_mode_rejects_experiment_ids(self, capsys):
+        assert campaign_main(["run", "E1", "--worker",
+                              "http://127.0.0.1:1"]) == CONFIG
+
+
+def _one_json_doc(capsys):
+    out = capsys.readouterr().out.strip()
+    return json.loads(out)
+
+
+@pytest.fixture(scope="module")
+def campaign_store(tmp_path_factory):
+    """One computed E1 campaign shared by the read-command tests."""
+    root = tmp_path_factory.mktemp("campaign-store")
+    run_campaign(plan_experiments(["E1"], QUICK), ResultStore(root), jobs=1)
+    return root
+
+
+class TestCampaignJson:
+    def test_status_json(self, campaign_store, capsys):
+        assert campaign_main(["status", "E1", "--scale", "quick",
+                              "--results-dir", str(campaign_store),
+                              "--json"]) == OK
+        payload = _one_json_doc(capsys)
+        assert payload["units"] == payload["cached"] == 1
+
+    def test_show_json(self, campaign_store, capsys):
+        assert campaign_main(["show", "E1", "--scale", "quick",
+                              "--results-dir", str(campaign_store),
+                              "--json"]) == OK
+        (section,) = _one_json_doc(capsys)
+        assert section["unit"] == "E1"
+        assert section["result"]
+
+
+def _artifact(path):
+    case = CaseResult(name="demo/add", scale="quick", rounds=3,
+                      best_s=0.9, median_s=1.0, iqr_s=0.0)
+    path.write_text(SuiteResult.build("demo", (case,)).to_json())
+    return path
+
+
+class TestBenchJson:
+    def test_list_json(self, capsys):
+        assert bench_main(["list", "--json"]) == OK
+        payload = _one_json_doc(capsys)
+        assert "suites" in payload and "cases" in payload
+
+    def test_report_json(self, tmp_path, capsys):
+        artifact = _artifact(tmp_path / "BENCH_demo.json")
+        assert bench_main(["report", str(artifact), "--json"]) == OK
+        (loaded,) = _one_json_doc(capsys)
+        assert loaded["suite"] == "demo"
+
+    def test_history_trend_json(self, tmp_path, capsys):
+        artifact = _artifact(tmp_path / "BENCH_demo.json")
+        db = tmp_path / "history.sqlite"
+        assert bench_main(["history", "record", str(artifact),
+                           "--db", str(db)]) == OK
+        capsys.readouterr()
+        assert bench_main(["history", "trend", "demo", "--db", str(db),
+                           "--json"]) == OK
+        payload = _one_json_doc(capsys)
+        assert payload["suite"] == "demo"
+        assert "demo/add" in payload["series"]
+
+
+def _write_trace(path, label="E1"):
+    sink = JsonlSink(path, argv=["prog"])
+    previous = obs.configure(sink)
+    try:
+        with obs.span("outer", label=label):
+            with obs.span("inner"):
+                obs.counter("campaign.cache.hit")
+    finally:
+        obs.configure(previous if previous.live else None)
+        sink.close()
+
+
+class TestObsJson:
+    @pytest.mark.parametrize("command", ["summary", "report", "profile"])
+    def test_single_trace_commands_emit_json(self, command, tmp_path,
+                                             capsys):
+        trace = tmp_path / "trace.jsonl"
+        _write_trace(trace)
+        assert obs_main([command, str(trace), "--json"]) == OK
+        assert isinstance(_one_json_doc(capsys), dict)
+
+    def test_diff_json(self, tmp_path, capsys):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        _write_trace(a)
+        _write_trace(b)
+        assert obs_main(["diff", str(a), str(b), "--json"]) == OK
+        payload = _one_json_doc(capsys)
+        assert payload["a"] == str(a)
+        assert "deltas" in payload
